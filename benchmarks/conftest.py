@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` regenerates one of the paper's artifacts (a table
+or figure), times it via pytest-benchmark, prints the rendered table,
+archives it under ``benchmarks/artifacts/`` and asserts that every
+qualitative shape check against the paper holds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture()
+def record_artifact():
+    """Persist and display an ExperimentReport produced by a benchmark."""
+
+    def _record(report):
+        ARTIFACT_DIR.mkdir(exist_ok=True)
+        text = report.render()
+        (ARTIFACT_DIR / f"{report.exp_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return report
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive experiment exactly once (no warmup reruns)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's X1 artifact (module ablation_cost_terms)."""
+
+from repro.experiments import ablation_cost_terms
+
+from conftest import run_once
+
+
+def test_bench_x1_ablation_cost_terms(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: ablation_cost_terms.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "X1"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

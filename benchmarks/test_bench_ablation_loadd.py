@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's X2 artifact (module ablation_loadd)."""
+
+from repro.experiments import ablation_loadd
+
+from conftest import run_once
+
+
+def test_bench_x2_ablation_loadd(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: ablation_loadd.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "X2"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

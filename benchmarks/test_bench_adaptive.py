@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the extension artifact in module adaptive."""
+
+from repro.experiments import adaptive
+
+from conftest import run_once
+
+
+def test_bench_adaptive(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: adaptive.run(fast=True))
+    record_artifact(report)
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's S1 artifact (module analysis_vs_sim)."""
+
+from repro.experiments import analysis_vs_sim
+
+from conftest import run_once
+
+
+def test_bench_s1_analysis_vs_sim(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: analysis_vs_sim.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "S1"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

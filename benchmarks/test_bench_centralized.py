@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the X7 artifact (centralized vs distributed)."""
+
+from repro.experiments import centralized
+
+from conftest import run_once
+
+
+def test_bench_x7_centralized(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: centralized.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "X7"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's X3 artifact (module churn)."""
+
+from repro.experiments import churn
+
+from conftest import run_once
+
+
+def test_bench_x3_churn(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: churn.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "X3"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the X8 artifact (burst/queue dynamics)."""
+
+from repro.experiments import dynamics
+
+from conftest import run_once
+
+
+def test_bench_x8_dynamics(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: dynamics.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "X8"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's F1 artifact (module figure1)."""
+
+from repro.experiments import figure1
+
+from conftest import run_once
+
+
+def test_bench_f1_figure1(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: figure1.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "F1"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's F2 artifact (module figure2)."""
+
+from repro.experiments import figure2
+
+from conftest import run_once
+
+
+def test_bench_f2_figure2(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: figure2.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "F2"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's F3 artifact (module figure3)."""
+
+from repro.experiments import figure3
+
+from conftest import run_once
+
+
+def test_bench_f3_figure3(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: figure3.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "F3"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

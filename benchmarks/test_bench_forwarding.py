@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the X4 artifact (forwarding vs redirection)."""
+
+from repro.experiments import forwarding
+
+from conftest import run_once
+
+
+def test_bench_x4_forwarding(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: forwarding.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "X4"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are classic pytest-benchmark measurements (many rounds): raw event
+throughput of the kernel, fair-share reallocation cost, and an
+end-to-end requests/second figure for the whole SWEB stack — the numbers
+that bound how large an experiment the harness can afford.
+"""
+
+from repro import SWEBCluster, meiko_cs2
+from repro.sim import FairShareServer, Simulator
+
+
+def run_timeout_chain(n_events: int) -> int:
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(n_events):
+            yield sim.timeout(1.0)
+
+    sim.spawn(ticker())
+    sim.run()
+    return sim.event_count
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    count = benchmark(run_timeout_chain, 5_000)
+    assert count >= 5_000
+
+
+def run_fair_share(n_jobs: int) -> float:
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=100.0)
+
+    def submit(i):
+        yield sim.timeout(i * 0.01)
+        job = srv.submit(1.0 + (i % 7))
+        yield job.done
+
+    for i in range(n_jobs):
+        sim.spawn(submit(i))
+    sim.run()
+    return srv.work_completed
+
+
+def test_bench_fair_share_churn(benchmark):
+    done = benchmark(run_fair_share, 300)
+    assert done > 0
+
+
+def run_sweb_requests(n_requests: int) -> int:
+    cluster = SWEBCluster(meiko_cs2(6), policy="sweb", seed=1)
+    for i in range(20):
+        cluster.add_file(f"/f{i}.html", 2e4, home=i % 6)
+    client = cluster.client()
+
+    def driver():
+        for i in range(n_requests):
+            yield cluster.sim.timeout(0.05)
+            client.fetch(f"/f{i % 20}.html")
+
+    cluster.sim.spawn(driver())
+    cluster.run(until=cluster.sim.now + 0.05 * n_requests + 60.0)
+    return cluster.metrics.completed
+
+
+def test_bench_sweb_request_pipeline(benchmark):
+    completed = benchmark.pedantic(run_sweb_requests, args=(200,),
+                                   rounds=3, iterations=1)
+    assert completed == 200

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's S3 artifact (module overhead)."""
+
+from repro.experiments import overhead
+
+from conftest import run_once
+
+
+def test_bench_s3_overhead(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: overhead.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "S3"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's S2 artifact (module skewed)."""
+
+from repro.experiments import skewed
+
+from conftest import run_once
+
+
+def test_bench_s2_skewed(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: skewed.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "S2"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the extension artifact in module striping."""
+
+from repro.experiments import striping
+
+from conftest import run_once
+
+
+def test_bench_striping(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: striping.run(fast=True))
+    record_artifact(report)
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

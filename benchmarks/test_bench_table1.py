@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's T1 artifact (module table1)."""
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_bench_t1_table1(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: table1.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "T1"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's T2 artifact (module table2)."""
+
+from repro.experiments import table2
+
+from conftest import run_once
+
+
+def test_bench_t2_table2(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: table2.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "T2"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

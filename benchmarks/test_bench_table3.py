@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's T3 artifact (module table3)."""
+
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_bench_t3_table3(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: table3.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "T3"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

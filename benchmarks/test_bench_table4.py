@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's T4 artifact (module table4)."""
+
+from repro.experiments import table4
+
+from conftest import run_once
+
+
+def test_bench_t4_table4(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: table4.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "T4"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's T5 artifact (module table5)."""
+
+from repro.experiments import table5
+
+from conftest import run_once
+
+
+def test_bench_t5_table5(benchmark, record_artifact):
+    report = run_once(benchmark, lambda: table5.run(fast=True))
+    record_artifact(report)
+    assert report.exp_id == "T5"
+    assert report.shape_holds, f"shape checks failed:\n{report.render()}"

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A heterogeneous NOW with machines leaving and joining mid-run.
+
+§1's motivating environment: "the computing powers of workstations …
+can be heterogeneous.  They can be used for other computing needs, and
+can leave and join the system resource pool at any time."  This example
+runs a mixed-speed NOW, pulls the fastest node out for 15 seconds while
+clients keep arriving (from both UCSB and the east coast), and shows how
+loadd + the broker absorb the churn.
+
+Run:  python examples/heterogeneous_now.py
+"""
+
+from repro import SWEBCluster, heterogeneous_now, RUTGERS_CLIENT, UCSB_CLIENT
+from repro.sim import RandomStreams
+from repro.web.client import Client
+from repro.workload import bimodal_corpus, burst_workload, uniform_sampler
+
+
+def main() -> None:
+    speeds = [50e6, 25e6, 25e6, 12e6]   # one fast, two stock, one slow LX
+    cluster = SWEBCluster(heterogeneous_now(speeds), policy="sweb", seed=3)
+    corpus = bimodal_corpus(80, 4, large_frac=0.2,
+                            large_range=(2e5, 5e5), seed=5)
+    corpus.install(cluster)
+
+    rng = RandomStreams(seed=3)
+    sampler = uniform_sampler(corpus, rng)
+    workload = burst_workload(6, 45.0, sampler,
+                              client_mix=[("ucsb", 0.8), ("rutgers", 0.2)],
+                              rng=rng)
+    clients = {"ucsb": Client(cluster, profile=UCSB_CLIENT, timeout=240.0),
+               "rutgers": Client(cluster, profile=RUTGERS_CLIENT,
+                                 timeout=240.0)}
+    sim = cluster.sim
+
+    def churner():
+        yield sim.timeout(10.0)
+        print(f"[t={sim.now:5.1f}s] node 0 (the fast one) leaves the pool")
+        cluster.node_leave(0)
+        yield sim.timeout(15.0)
+        print(f"[t={sim.now:5.1f}s] node 0 rejoins")
+        cluster.node_join(0, update_dns=False)
+
+    def driver():
+        for arrival in workload:
+            if arrival.time > sim.now:
+                yield sim.timeout(arrival.time - sim.now)
+            clients[arrival.client].fetch(arrival.path)
+
+    sim.spawn(churner(), name="churner")
+    done = sim.spawn(driver(), name="driver")
+    cluster.run(until=done)
+    cluster.run(until=sim.now + 240.0)
+
+    metrics = cluster.metrics
+    print()
+    print("Heterogeneous NOW under churn")
+    print("=============================")
+    print(f"speeds: {[f'{s / 1e6:.0f} Mops' for s in speeds]}")
+    print(f"requests {metrics.total}, completed {metrics.completed}, "
+          f"dropped {metrics.dropped} ({metrics.drop_rate:.1%})")
+    for who in ("ucsb", "rutgers"):
+        times = [r.response_time for r in metrics.records
+                 if r.ok and r.client.startswith(who)]
+        if times:
+            print(f"  {who:<8} mean {sum(times) / len(times):.3f}s over "
+                  f"{len(times)} requests")
+    print(f"served-by histogram: {metrics.served_by_histogram()}")
+    print(f"redirections: {cluster.total_redirections()}")
+    during = [r for r in metrics.records if 10.0 < r.start < 25.0]
+    refused = sum(1 for r in during
+                  if r.dropped and r.drop_reason == "refused")
+    print(f"while node 0 was down: {len(during)} requests arrived, "
+          f"{refused} refused at the dead node (DNS kept rotating to it; "
+          f"loadd kept the *schedulers* from sending more)")
+
+
+if __name__ == "__main__":
+    main()

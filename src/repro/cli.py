@@ -1,0 +1,216 @@
+"""Command-line interface: ``sweb-repro``.
+
+Subcommands:
+
+* ``list`` — show every reproducible table/figure;
+* ``run T3 [--full]`` — regenerate one artifact and print it;
+* ``all [--full]`` — regenerate everything (EXPERIMENTS.md source);
+* ``serve`` — run an ad-hoc scenario from flags (testbed, policy, rps...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sweb-repro",
+        description="SWEB (IPPS'96) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artifacts")
+
+    run = sub.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment", help="id, e.g. T1..T5, F1..F3, S1..S3, X1..X3")
+    run.add_argument("--full", action="store_true",
+                     help="paper-scale durations (slower)")
+
+    allp = sub.add_parser("all", help="regenerate every artifact")
+    allp.add_argument("--full", action="store_true")
+
+    serve = sub.add_parser("serve", help="run an ad-hoc scenario")
+    serve.add_argument("--testbed", choices=["meiko", "now"], default="meiko")
+    serve.add_argument("--nodes", type=int, default=6)
+    serve.add_argument("--policy", default="sweb")
+    serve.add_argument("--rps", type=int, default=16)
+    serve.add_argument("--duration", type=float, default=30.0)
+    serve.add_argument("--file-size", type=float, default=1.5e6)
+    serve.add_argument("--files", type=int, default=120)
+    serve.add_argument("--seed", type=int, default=1)
+
+    replay = sub.add_parser(
+        "replay", help="replay a Common Log Format access log")
+    replay.add_argument("logfile", help="path to an access_log in CLF")
+    replay.add_argument("--config", help="JSON config file (see config-template)")
+    replay.add_argument("--time-scale", type=float, default=1.0,
+                        help="compress (<1) or stretch (>1) arrival times")
+    replay.add_argument("--default-size", type=float, default=8e3,
+                        help="size for paths absent from the log's bytes column")
+
+    sub.add_parser("config-template",
+                   help="print a complete JSON configuration file")
+
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (all artifacts)")
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    report.add_argument("--full", action="store_true",
+                        help="paper-scale durations (slower)")
+    report.add_argument("--only", nargs="*", metavar="ID",
+                        help="restrict to specific experiment ids")
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments import ALL_EXPERIMENTS
+    for exp_id, module in ALL_EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{exp_id:>3}  {doc}")
+    return 0
+
+
+def _cmd_run(exp_id: str, full: bool) -> int:
+    from .experiments import run_experiment
+    start = time.time()
+    report = run_experiment(exp_id, fast=not full)
+    print(report.render())
+    print(f"\n[{report.exp_id} finished in {time.time() - start:.1f}s; "
+          f"shape holds: {report.shape_holds}]")
+    return 0 if report.shape_holds else 1
+
+def _cmd_all(full: bool) -> int:
+    from .experiments import ALL_EXPERIMENTS, run_experiment
+    failures = []
+    for exp_id in ALL_EXPERIMENTS:
+        start = time.time()
+        report = run_experiment(exp_id, fast=not full)
+        print(report.render())
+        print(f"\n[{exp_id} in {time.time() - start:.1f}s; "
+              f"shape holds: {report.shape_holds}]\n")
+        if not report.shape_holds:
+            failures.append(exp_id)
+    if failures:
+        print(f"shape checks FAILED for: {', '.join(failures)}")
+        return 1
+    print("all shape checks hold")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .cluster import meiko_cs2, sun_now
+    from .experiments.runner import Scenario, run_scenario
+    from .sim import RandomStreams
+    from .workload import burst_workload, uniform_corpus, uniform_sampler
+
+    spec = (meiko_cs2 if args.testbed == "meiko" else sun_now)(args.nodes)
+    corpus = uniform_corpus(args.files, args.file_size, args.nodes)
+    sampler = uniform_sampler(corpus, RandomStreams(seed=42))
+    workload = burst_workload(args.rps, args.duration, sampler)
+    scenario = Scenario(name="cli", spec=spec, corpus=corpus,
+                        workload=workload, policy=args.policy,
+                        seed=args.seed)
+    result = run_scenario(scenario)
+    print(result.summary_line())
+    summary = result.response_summary
+    print(f"response: mean {summary.mean:.3f}s p50 {summary.p50:.3f}s "
+          f"p90 {summary.p90:.3f}s p99 {summary.p99:.3f}s")
+    print(f"redirected: {result.redirection_rate:.1%}, "
+          f"cache hits: {result.cache_hit_rate():.1%}, "
+          f"remote reads: {result.remote_read_fraction():.1%}")
+    print("cpu shares: " + ", ".join(
+        f"{k} {v:.2%}" for k, v in sorted(result.cpu_shares().items())))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .config import load_config
+    from .experiments.runner import DEFAULT_PROFILES
+    from .sim import AllOf
+    from .web.client import Client
+    from .workload.logs import parse_clf, workload_from_clf
+
+    entries = parse_clf(Path(args.logfile).read_text())
+    if not entries:
+        print(f"no parseable CLF entries in {args.logfile}")
+        return 1
+    workload = workload_from_clf(entries, time_scale=args.time_scale)
+    config = load_config(args.config) if args.config else load_config({})
+    cluster = config.build()
+    # Place every referenced path; sizes come from the log when present.
+    sizes: dict[str, float] = {}
+    for entry in entries:
+        if entry.nbytes > 0:
+            sizes[entry.path] = max(sizes.get(entry.path, 0.0),
+                                    float(entry.nbytes))
+    n = len(cluster.nodes)
+    for i, path in enumerate(sorted({e.path for e in entries})):
+        if not cluster.cgi.is_cgi(path):
+            cluster.add_file(path, sizes.get(path, args.default_size),
+                             home=i % n)
+    client = Client(cluster, profile=DEFAULT_PROFILES["ucsb"])
+    sim = cluster.sim
+
+    def driver():
+        procs = []
+        for arrival in workload:
+            if arrival.time > sim.now:
+                yield sim.timeout(arrival.time - sim.now)
+            procs.append(client.fetch(arrival.path))
+        yield AllOf(sim, procs)
+
+    sim.run(until=sim.spawn(driver(), name="replay"))
+    metrics = cluster.metrics
+    print(f"replayed {metrics.total} requests over "
+          f"{workload.duration:.1f}s (x{args.time_scale:g} time scale)")
+    summary = metrics.response_summary()
+    print(f"completed {metrics.completed}, dropped {metrics.dropped} "
+          f"({metrics.drop_rate:.1%}); response mean {summary.mean:.3f}s "
+          f"p90 {summary.p90:.3f}s")
+    return 0
+
+
+def _cmd_config_template() -> int:
+    from .cluster import meiko_cs2
+    from .config import SWEBConfig, dump_config
+    from .core import CostParameters, Oracle
+
+    config = SWEBConfig(spec=meiko_cs2(), params=CostParameters(),
+                        oracle=Oracle())
+    print(dump_config(config))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.full)
+    if args.command == "all":
+        return _cmd_all(args.full)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "config-template":
+        return _cmd_config_template()
+    if args.command == "report":
+        from .experiments.report import generate_report
+
+        ids = [i.upper() for i in args.only] if args.only else None
+        _text, all_hold = generate_report(fast=not args.full,
+                                          output=args.output,
+                                          experiment_ids=ids)
+        print(f"wrote {args.output}; all shape checks hold: {all_hold}")
+        return 0 if all_hold else 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

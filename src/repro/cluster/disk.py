@@ -1,0 +1,97 @@
+"""Disk model.
+
+Each SWEB node owns a dedicated drive (1 GB on the Meiko CS-2, 525 MB on
+the SparcStation LX NOW).  The drive is a fair-share bandwidth station:
+concurrent reads split the channel, which is exactly the "disk channel
+load" the paper's cost model measures (`load_1` in the t_data term).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim import Event, FairShareServer, Simulator
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """A single disk drive with a shared-bandwidth channel.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    bandwidth:
+        Sequential read bandwidth in bytes/second (the paper's ``b_disk``;
+        5 MB/s in the §3.3 worked example).
+    capacity:
+        Drive capacity in bytes (only used for placement sanity checks).
+    name:
+        Label for traces.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float,
+                 capacity: float = 1e9, name: str = "disk",
+                 seek_latency: float = 0.0) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"disk bandwidth must be > 0, got {bandwidth}")
+        if seek_latency < 0:
+            raise ValueError(f"negative seek_latency: {seek_latency}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.capacity = float(capacity)
+        #: fixed per-read positioning cost (seek + rotational latency);
+        #: 0 by default — the paper's b_disk already folds it into the
+        #: effective bandwidth, but the knob exists for finer models.
+        self.seek_latency = float(seek_latency)
+        self.used_bytes = 0.0
+        self.server = FairShareServer(sim, rate=bandwidth, name=f"{name}.channel")
+        self.bytes_read = 0.0
+        self.reads = 0
+
+    # -- I/O -------------------------------------------------------------
+    def read(self, nbytes: float, tag: Any = None) -> Event:
+        """Start reading ``nbytes``; the returned event fires on completion."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size: {nbytes}")
+        self.bytes_read += nbytes
+        self.reads += 1
+        if self.seek_latency <= 0:
+            return self.server.submit(nbytes, tag=tag).done
+        done = Event(self.sim)
+
+        def pump():
+            yield self.sim.timeout(self.seek_latency)
+            yield self.server.submit(nbytes, tag=tag).done
+            done.succeed(nbytes)
+
+        self.sim.spawn(pump(), name=f"{self.name}.read")
+        return done
+
+    def allocate(self, nbytes: float) -> None:
+        """Account for a stored file (placement-time bookkeeping)."""
+        if self.used_bytes + nbytes > self.capacity:
+            raise ValueError(
+                f"{self.name}: allocating {nbytes:.0f} B exceeds capacity "
+                f"({self.used_bytes:.0f}/{self.capacity:.0f} B used)")
+        self.used_bytes += nbytes
+
+    # -- load metrics (read by loadd) --------------------------------------
+    @property
+    def channel_load(self) -> int:
+        """Number of in-flight reads (the paper's disk-channel load)."""
+        return self.server.njobs
+
+    def effective_bandwidth(self) -> float:
+        """Per-stream bandwidth given the current channel load."""
+        return self.bandwidth / max(1, self.server.njobs)
+
+    def utilization(self) -> float:
+        """Busy time so far (seconds)."""
+        return self.server.busy_integral()
+
+    def __repr__(self) -> str:
+        return (f"<Disk {self.name!r} bw={self.bandwidth / 1e6:.1f}MB/s "
+                f"inflight={self.channel_load}>")

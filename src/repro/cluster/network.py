@@ -1,0 +1,240 @@
+"""Interconnect and wide-area network models.
+
+Three different fabrics appear in the paper:
+
+* the Meiko CS-2's **fat-tree** (40 MB/s per port, essentially
+  non-blocking internally) — modelled as per-node port stations, so a
+  transfer contends only at its two endpoints;
+* the NOW's **shared 10 Mb/s Ethernet** — a single bus station that every
+  remote transfer in the whole cluster shares (this is what makes file
+  locality pay off in Table 4);
+* the **Internet** between clients and the server site — modelled as a
+  per-client path (latency + bandwidth cap) drawing from the serving
+  node's NIC, which the paper identifies as "often a severe bottleneck".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim import AllOf, Event, FairShareServer, Simulator
+
+__all__ = [
+    "Link",
+    "ClusterNetwork",
+    "FatTreeNetwork",
+    "SharedBusNetwork",
+    "WANPath",
+    "Internet",
+]
+
+
+class Link:
+    """A unidirectional shared pipe: fixed latency + fair-share bandwidth."""
+
+    def __init__(self, sim: Simulator, bandwidth: float, latency: float = 0.0,
+                 name: str = "link") -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be > 0, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.server = FairShareServer(sim, rate=bandwidth, name=f"{name}.pipe")
+        self.bytes_sent = 0.0
+
+    def transfer(self, nbytes: float, tag: Any = None,
+                 cap: Optional[float] = None) -> Event:
+        """Move ``nbytes`` through the link; fires when the last byte lands."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        self.bytes_sent += nbytes
+        done = Event(self.sim)
+
+        def pump():
+            if self.latency > 0:
+                yield self.sim.timeout(self.latency)
+            job = self.server.submit(nbytes, cap=cap, tag=tag)
+            yield job.done
+            done.succeed(nbytes)
+
+        self.sim.spawn(pump(), name=f"{self.name}.xfer")
+        return done
+
+    @property
+    def load(self) -> int:
+        """In-flight transfers (the paper's ``load_2``)."""
+        return self.server.njobs
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name!r} bw={self.bandwidth / 1e6:.2f}MB/s load={self.load}>"
+
+
+class ClusterNetwork:
+    """Interface for the intra-cluster interconnect."""
+
+    #: advertised peak bandwidth of a single path, bytes/s (``b_net``)
+    bandwidth: float
+
+    def transfer(self, src: int, dst: int, nbytes: float, tag: Any = None) -> Event:
+        """Move ``nbytes`` from node ``src`` to node ``dst``."""
+        raise NotImplementedError
+
+    def node_load(self, node: int) -> int:
+        """In-flight transfers that involve ``node`` (loadd's net metric)."""
+        raise NotImplementedError
+
+    def effective_bandwidth(self, node: int) -> float:
+        """Per-stream bandwidth a new transfer at ``node`` would see."""
+        raise NotImplementedError
+
+
+class FatTreeNetwork(ClusterNetwork):
+    """Meiko CS-2 style fabric: contention only at the endpoints.
+
+    Each node owns one port station; a transfer holds a job on the source
+    and destination ports concurrently and completes when both finish
+    (the slower endpoint governs, like a cut-through fabric).
+    """
+
+    def __init__(self, sim: Simulator, nodes: int, bandwidth: float,
+                 latency: float = 10e-6, name: str = "fat-tree") -> None:
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        self.sim = sim
+        self.name = name
+        self.nodes = nodes
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.ports = [FairShareServer(sim, rate=bandwidth, name=f"{name}.port{i}")
+                      for i in range(nodes)]
+        self.bytes_sent = 0.0
+
+    def transfer(self, src: int, dst: int, nbytes: float, tag: Any = None) -> Event:
+        if not (0 <= src < self.nodes and 0 <= dst < self.nodes):
+            raise ValueError(f"bad endpoints {src}->{dst} (nodes={self.nodes})")
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        done = Event(self.sim)
+        if src == dst:
+            # Loopback never touches the fabric.
+            done.succeed(nbytes)
+            return done
+        self.bytes_sent += nbytes
+
+        def pump():
+            if self.latency > 0:
+                yield self.sim.timeout(self.latency)
+            out = self.ports[src].submit(nbytes, tag=tag)
+            inn = self.ports[dst].submit(nbytes, tag=tag)
+            yield AllOf(self.sim, [out.done, inn.done])
+            done.succeed(nbytes)
+
+        self.sim.spawn(pump(), name=f"{self.name}.xfer")
+        return done
+
+    def node_load(self, node: int) -> int:
+        return self.ports[node].njobs
+
+    def effective_bandwidth(self, node: int) -> float:
+        return self.bandwidth / max(1, self.ports[node].njobs)
+
+
+class SharedBusNetwork(ClusterNetwork):
+    """Ethernet-style bus: every remote transfer shares one medium."""
+
+    def __init__(self, sim: Simulator, bandwidth: float,
+                 latency: float = 0.5e-3, name: str = "ethernet",
+                 background_load: float = 0.0) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        if not 0.0 <= background_load < 1.0:
+            raise ValueError(f"background_load must be in [0,1), got {background_load}")
+        self.sim = sim
+        self.name = name
+        self.latency = float(latency)
+        # The paper notes the UCSB Ethernet's effective bandwidth was low
+        # because it was shared with other campus machines: model that as a
+        # fixed fraction of the medium permanently consumed.
+        self.bandwidth = float(bandwidth) * (1.0 - background_load)
+        self.bus = FairShareServer(sim, rate=self.bandwidth, name=f"{name}.bus")
+        self.bytes_sent = 0.0
+
+    def transfer(self, src: int, dst: int, nbytes: float, tag: Any = None) -> Event:
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        done = Event(self.sim)
+        if src == dst:
+            done.succeed(nbytes)
+            return done
+        self.bytes_sent += nbytes
+
+        def pump():
+            if self.latency > 0:
+                yield self.sim.timeout(self.latency)
+            job = self.bus.submit(nbytes, tag=tag)
+            yield job.done
+            done.succeed(nbytes)
+
+        self.sim.spawn(pump(), name=f"{self.name}.xfer")
+        return done
+
+    def node_load(self, node: int) -> int:
+        # A bus is global: every node observes the same contention.
+        return self.bus.njobs
+
+    def effective_bandwidth(self, node: int) -> float:
+        return self.bandwidth / max(1, self.bus.njobs)
+
+
+class WANPath:
+    """The Internet path between one client and the server site."""
+
+    def __init__(self, latency: float, bandwidth: float, name: str = "wan") -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return (f"<WANPath {self.name!r} rtt={2 * self.latency * 1e3:.1f}ms "
+                f"bw={self.bandwidth / 1e6:.2f}MB/s>")
+
+
+class Internet:
+    """Delivers server responses to clients over their WAN paths.
+
+    A response stream is a job on the serving node's NIC, rate-capped by
+    the client's own path bandwidth, plus the one-way path latency.  Slow
+    clients therefore do not starve fast ones (the cap frees NIC share),
+    while many concurrent responses on one node do contend — the paper's
+    "network overhead ... concentrated at a single node" effect.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.bytes_sent = 0.0
+
+    def send(self, nic: FairShareServer, path: WANPath, nbytes: float,
+             tag: Any = None) -> Event:
+        if nbytes < 0:
+            raise ValueError(f"negative send size: {nbytes}")
+        self.bytes_sent += nbytes
+        done = Event(self.sim)
+
+        def pump():
+            if path.latency > 0:
+                yield self.sim.timeout(path.latency)
+            job = nic.submit(nbytes, cap=path.bandwidth, tag=tag)
+            yield job.done
+            done.succeed(nbytes)
+
+        self.sim.spawn(pump(), name="internet.send")
+        return done

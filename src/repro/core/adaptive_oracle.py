@@ -1,0 +1,111 @@
+"""An oracle that learns from measurements.
+
+§3.2 closes with: "It should be noted that modeling the cost associated
+with processing a HTTP request accurately is not easy.  We still need to
+investigate further the design of such a function."  This module is that
+future work: an oracle whose per-byte CPU estimates are corrected by
+exponentially-weighted observations of what requests *actually* cost,
+keyed by file extension (the same granularity as the static table).
+
+A mis-specified configuration file then self-heals after a few requests
+per class instead of skewing every broker decision forever — see
+experiment X5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..web.cgi import CGIRegistry
+from .oracle import Oracle, OracleRule, TaskEstimate
+
+__all__ = ["ClassStats", "AdaptiveOracle"]
+
+
+@dataclass
+class ClassStats:
+    """Learned cost statistics for one request class (extension)."""
+
+    ops_per_byte: float
+    observations: int = 0
+
+
+def _class_of(path: str) -> str:
+    """Request class key: the file extension (or the whole last segment)."""
+    name = path.rsplit("/", 1)[-1]
+    if "." in name:
+        return "." + name.rsplit(".", 1)[-1].lower()
+    return "(none)"
+
+
+class AdaptiveOracle(Oracle):
+    """Oracle whose table is corrected by runtime observations.
+
+    Parameters
+    ----------
+    rules:
+        The initial (possibly wrong) user-supplied table.
+    alpha:
+        EWMA weight of a new observation, in (0, 1].
+    min_observations:
+        Learned estimates are trusted only after this many samples per
+        class (before that, the static table answers).
+    """
+
+    def __init__(self, rules: Optional[list[OracleRule]] = None,
+                 cgi_registry: Optional[CGIRegistry] = None,
+                 alpha: float = 0.3, min_observations: int = 3) -> None:
+        super().__init__(rules=rules, cgi_registry=cgi_registry)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}")
+        self.alpha = float(alpha)
+        self.min_observations = int(min_observations)
+        self._classes: dict[str, ClassStats] = {}
+
+    # -- learning --------------------------------------------------------
+    def observe(self, path: str, output_bytes: float, cpu_ops: float) -> None:
+        """Record what serving ``path`` actually cost.
+
+        Called by the httpd after fulfilment with the operations it
+        really charged for the request's body.
+        """
+        if output_bytes <= 0 or cpu_ops < 0:
+            return
+        if self.cgi.is_cgi(path):
+            return  # CGI costs come from the registry, not per-byte rates
+        rate = cpu_ops / output_bytes
+        key = _class_of(path)
+        stats = self._classes.get(key)
+        if stats is None:
+            self._classes[key] = ClassStats(ops_per_byte=rate, observations=1)
+        else:
+            stats.ops_per_byte += self.alpha * (rate - stats.ops_per_byte)
+            stats.observations += 1
+
+    def learned(self, path: str) -> Optional[ClassStats]:
+        """The trusted learned stats for ``path``'s class, if any."""
+        stats = self._classes.get(_class_of(path))
+        if stats is not None and stats.observations >= self.min_observations:
+            return stats
+        return None
+
+    # -- characterisation -----------------------------------------------------
+    def characterize(self, path: str, file_size: float) -> TaskEstimate:
+        base = super().characterize(path, file_size)
+        if base.is_cgi:
+            return base
+        stats = self.learned(path)
+        if stats is None:
+            return base
+        return TaskEstimate(cpu_ops=stats.ops_per_byte * file_size,
+                            disk_bytes=base.disk_bytes,
+                            output_bytes=base.output_bytes,
+                            is_cgi=False)
+
+    def __repr__(self) -> str:
+        return (f"<AdaptiveOracle classes={len(self._classes)} "
+                f"alpha={self.alpha}>")

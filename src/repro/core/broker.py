@@ -1,0 +1,125 @@
+"""The broker: SWEB's per-node scheduler (§3.1–3.2, Figure 3).
+
+"[The httpd contains] a broker module which determines the best possible
+processor to handle a given request.  The broker consults with two other
+modules, the oracle and the loadd."
+
+Given a preprocessed request, the broker (a) locates the file's home
+disk, (b) asks the oracle for the task's demands, (c) prices every
+available server with the multi-faceted cost model, and (d) picks the
+minimum-time candidate, inflating the winner's believed CPU load by Δ
+when the request is shipped away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..cluster.filesystem import DistributedFileSystem
+from ..sim import Simulator, Trace
+from .costmodel import CostEstimate, CostModel
+from .loadinfo import ClusterView
+from .oracle import Oracle, TaskEstimate
+
+__all__ = ["BrokerDecision", "Broker"]
+
+
+@dataclass(frozen=True)
+class BrokerDecision:
+    """Outcome of one broker consultation."""
+
+    chosen: int                      # node that should serve the request
+    local: int                       # node the broker ran on
+    estimates: tuple[CostEstimate, ...]  # every candidate's predicted t_s
+    task: TaskEstimate
+
+    @property
+    def redirected(self) -> bool:
+        return self.chosen != self.local
+
+    def estimate_for(self, node: int) -> Optional[CostEstimate]:
+        for est in self.estimates:
+            if est.node == node:
+                return est
+        return None
+
+
+class Broker:
+    """Per-node argmin scheduler over the multi-faceted cost model."""
+
+    def __init__(self, sim: Simulator, node_id: int, view: ClusterView,
+                 oracle: Oracle, cost_model: CostModel,
+                 fs: DistributedFileSystem,
+                 trace: Optional[Trace] = None,
+                 local_probe: Optional[Callable[[], "LoadSnapshot"]] = None
+                 ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.view = view
+        self.oracle = oracle
+        self.cost_model = cost_model
+        self.fs = fs
+        self.trace = trace
+        #: instantaneous self-load reading (a node's own /proc is current;
+        #: only the peers' broadcast info is stale)
+        self.local_probe = local_probe
+        self.decisions = 0
+        self.redirections = 0
+
+    def choose_server(self, path: str, client_latency: float) -> BrokerDecision:
+        """Run step 2 of §3.2: analyse the request, price every candidate,
+        and return the minimum-completion-time choice.
+
+        Ties prefer the local node (no redirection cost is ever worth
+        paying for an equal estimate), then the lowest node id.
+        """
+        now = self.sim.now
+        self.decisions += 1
+        # (a) Where does the file live?
+        file_home: Optional[int] = None
+        file_size = 0.0
+        if self.fs.exists(path):
+            meta = self.fs.locate(path)
+            file_home, file_size = meta.home, meta.size
+        # (b) What does it demand?
+        task = self.oracle.characterize(path, file_size)
+        # (c) Price every available candidate.  The local node is priced
+        # from an instantaneous probe when one is wired in.
+        candidates = self.view.available(now)
+        if self.local_probe is not None:
+            fresh = self.local_probe()
+            candidates = [fresh if c.node == self.node_id else c
+                          for c in candidates]
+            if all(c.node != self.node_id for c in candidates):
+                candidates.append(fresh)
+        home_snap = None
+        if file_home is not None:
+            home_snap = self.view.get(file_home, now)
+            if (self.local_probe is not None and file_home == self.node_id):
+                home_snap = fresh
+        estimates = tuple(
+            self.cost_model.estimate(task, cand, home_snap, file_home,
+                                     local=self.node_id,
+                                     client_latency=client_latency)
+            for cand in candidates)
+        if not estimates:
+            # Nobody else is known: serve locally.
+            decision = BrokerDecision(chosen=self.node_id, local=self.node_id,
+                                      estimates=(), task=task)
+            return decision
+        # (d) Argmin with deterministic tie-breaking.
+        best = min(estimates,
+                   key=lambda e: (e.total, e.node != self.node_id, e.node))
+        decision = BrokerDecision(chosen=best.node, local=self.node_id,
+                                  estimates=estimates, task=task)
+        if decision.redirected:
+            self.redirections += 1
+            # Δ-inflation: guard against unsynchronized overloading.
+            self.view.inflate_cpu(best.node, self.cost_model.params.delta)
+        if self.trace is not None:
+            self.trace.emit(now, "sched", f"broker-{self.node_id}",
+                            "choose_server", path=path, winner=best.node,
+                            t_s=round(best.total, 6),
+                            candidates=len(estimates))
+        return decision

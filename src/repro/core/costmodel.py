@@ -1,0 +1,190 @@
+"""The multi-faceted cost model (§3.2).
+
+For an HTTP request r arriving at processor x, the broker estimates, for
+every candidate server s:
+
+    t_s = t_redirection + t_data + t_CPU + t_net
+
+with the terms defined exactly as in the paper:
+
+* ``t_redirection = 2 · t_client_server_latency + t_connect`` when s ≠ x,
+  zero otherwise — the browser's extra round trip after a 302.
+* ``t_data = F / b_disk_eff`` when the file is local to s, else
+  ``F / min(b_disk_eff, b_net_eff)`` — bandwidths de-rated by the
+  measured channel loads (load₁, load₂).
+* ``t_CPU = ops_required · (1 + CPU_load) / CPU_speed`` — the run-queue
+  seen in s's last broadcast; heterogeneous speeds enter here.
+* ``t_net`` — time to return the result over the Internet; "we assume all
+  processors will have basically the same cost for this term, so it is
+  not estimated" (kept as an optional term for the ablation study X1).
+
+The knockout flags exist so experiment X1 can turn individual terms off
+and show each one earns its keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .loadinfo import LoadSnapshot
+from .oracle import TaskEstimate
+
+__all__ = ["CostParameters", "CostEstimate", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Every tunable of the SWEB scheduler, with paper-calibrated defaults."""
+
+    # --- scheduler behaviour ---
+    delta: float = 0.30              # Δ, conservative CPU-load inflation
+    max_redirects: int = 1           # "not … redirected more than once"
+    # Reassignment mechanism: "URL redirection or request forwarding,
+    # could be used … and we use the former" (§3.1).  "forward" enables
+    # the road not taken, for experiment X4.
+    reassignment: str = "redirect"
+    # Future-work extension (§3.2 footnote): execute POSTs as CGIs.
+    enable_post: bool = False
+    # --- fixed per-request CPU costs, in operations (÷40e6 → seconds on a
+    #     Meiko node): 70 ms preprocess, ~2 ms analysis, 4 ms redirect gen.
+    preprocess_ops: float = 2.4e6    # parse + pathname + permissions
+    fork_ops: float = 4.0e5          # fork a handling process (10 ms)
+    analysis_ops: float = 8.0e4      # broker cost estimation (1–4 ms)
+    redirect_ops: float = 1.6e5      # generating the 302 (4 ms)
+    # Packetising/marshalling CPU per body byte ("processor load, caused by
+    # the overhead necessary to send bytes out on the network properly
+    # packetized and marshaled", §3).  6 ops/byte on a 40 Mops CPU caps a
+    # single socket stream at ~6.7 MB/s — the 5–15 %-of-peak regime the
+    # authors measured for TCP on the Meiko.  Charged concurrently with
+    # the wire transfer (the stack overlaps with DMA).
+    send_ops_per_byte: float = 6.0
+    # --- network timing ---
+    connect_time: float = 20e-3      # t_connect: TCP setup at the server
+    # "The estimate of the link latency is available from the TCP/IP
+    # implementation, but in the initial implementation is hand-coded into
+    # the server" (§3.2).  When set, the broker prices t_redirection with
+    # this constant instead of the true per-client latency; None = use the
+    # measured latency (the paper's planned refinement).
+    assumed_client_latency: Optional[float] = 30e-3
+    # --- loadd ---
+    loadd_period: float = 2.5        # broadcast every 2–3 s
+    loadd_msg_bytes: float = 128.0   # one load report on the wire
+    loadd_ops: float = 2.0e5         # CPU per broadcast (5 ms; §4.3 charges
+                                     # ~0.2 % of the CPU to load monitoring)
+    staleness_timeout: float = 8.0   # unavailable after ~3 missed periods
+    # --- ablation knockouts (all on for real SWEB) ---
+    use_data_term: bool = True
+    use_cpu_term: bool = True
+    use_net_term: bool = False       # paper: identical across nodes → skipped
+    use_redirection_term: bool = True
+    # --- assumed Internet bandwidth for t_net when enabled ---
+    internet_bandwidth: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ValueError(f"negative delta: {self.delta}")
+        if self.max_redirects < 0:
+            raise ValueError(f"negative max_redirects: {self.max_redirects}")
+        if self.loadd_period <= 0:
+            raise ValueError(f"loadd_period must be > 0: {self.loadd_period}")
+        if self.reassignment not in ("redirect", "forward"):
+            raise ValueError(
+                f"reassignment must be 'redirect' or 'forward', "
+                f"got {self.reassignment!r}")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The broker's prediction for one candidate server."""
+
+    node: int
+    t_redirection: float
+    t_data: float
+    t_cpu: float
+    t_net: float
+
+    @property
+    def total(self) -> float:
+        return self.t_redirection + self.t_data + self.t_cpu + self.t_net
+
+
+class CostModel:
+    """Evaluates t_s for candidate servers from (stale) load snapshots."""
+
+    def __init__(self, params: Optional[CostParameters] = None,
+                 net_bandwidth: float = 40e6) -> None:
+        self.params = params or CostParameters()
+        #: peak bandwidth of the intra-cluster fabric (b_net in §3.2)
+        self.net_bandwidth = float(net_bandwidth)
+
+    # -- individual terms ---------------------------------------------------
+    def t_redirection(self, candidate: int, local: int,
+                      client_latency: float) -> float:
+        """2 · latency + t_connect if the request must move, else 0.
+
+        Uses the hand-coded latency constant when configured (the paper's
+        initial implementation), else the measured client latency.
+        """
+        if not self.params.use_redirection_term:
+            return 0.0
+        if candidate == local:
+            return 0.0
+        if self.params.assumed_client_latency is not None:
+            client_latency = self.params.assumed_client_latency
+        return 2.0 * client_latency + self.params.connect_time
+
+    def t_data(self, est: TaskEstimate, candidate: LoadSnapshot,
+               home: Optional[LoadSnapshot], file_home: Optional[int]) -> float:
+        """Disk (and, if remote, interconnect) time for the file bytes."""
+        if not self.params.use_data_term or est.disk_bytes <= 0:
+            return 0.0
+        if file_home is None:
+            return 0.0
+        if file_home == candidate.node:
+            b_disk = candidate.disk_bandwidth / (1.0 + candidate.disk_load)
+            return est.disk_bytes / b_disk
+        # Remote: the home disk feeds the interconnect; the slower governs.
+        if home is not None:
+            b_disk = home.disk_bandwidth / (1.0 + home.disk_load)
+        else:
+            # Home's load unknown (stale): assume its disk unloaded.
+            b_disk = candidate.disk_bandwidth
+        b_net = self.net_bandwidth / (1.0 + candidate.net_load)
+        return est.disk_bytes / min(b_disk, b_net)
+
+    def t_cpu(self, est: TaskEstimate, candidate: LoadSnapshot,
+              local: bool = False) -> float:
+        """Queue-inflated CPU time for the *remaining* per-request work.
+
+        The local node has already forked a handler and parsed the
+        request; a remote candidate must redo both on arrival ("t_CPU is
+        the time to fork a process, …").  This asymmetry is the natural
+        hysteresis that keeps SWEB from redirecting on noise.
+        """
+        if not self.params.use_cpu_term:
+            return 0.0
+        # est.cpu_ops already includes the oracle's per-byte send estimate.
+        ops = est.cpu_ops
+        if not local:
+            ops += self.params.fork_ops + self.params.preprocess_ops
+        return ops * (1.0 + candidate.cpu_load) / candidate.cpu_speed
+
+    def t_net(self, est: TaskEstimate) -> float:
+        """Internet return time; identical across candidates, so normally 0."""
+        if not self.params.use_net_term:
+            return 0.0
+        return est.output_bytes / self.params.internet_bandwidth
+
+    # -- the full t_s ----------------------------------------------------------
+    def estimate(self, est: TaskEstimate, candidate: LoadSnapshot,
+                 home: Optional[LoadSnapshot], file_home: Optional[int],
+                 local: int, client_latency: float) -> CostEstimate:
+        """Predict the completion time if ``candidate`` serves the request."""
+        return CostEstimate(
+            node=candidate.node,
+            t_redirection=self.t_redirection(candidate.node, local, client_latency),
+            t_data=self.t_data(est, candidate, home, file_home),
+            t_cpu=self.t_cpu(est, candidate, local=(candidate.node == local)),
+            t_net=self.t_net(est),
+        )

@@ -1,0 +1,151 @@
+"""loadd — the load daemon (§3.1, Figure 3).
+
+"The loadd daemon is responsible for updating the system CPU, network and
+disk load information periodically (every 2-3 seconds), and marking those
+processors which have not responded in a preset period of time as
+unavailable.  When a processor leaves or joins the resource pool, the
+loadd daemon will be aware of the change."
+
+Each node runs one daemon.  Every period it samples its own CPU run queue
+(averaged over the window, like a Unix load average), disk channel and
+fabric port, installs the sample in its own view, and ships it to every
+peer over the real interconnect — so broadcasts cost CPU ops and network
+bytes that show up in the §4.3 overhead measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.network import ClusterNetwork
+from ..cluster.node import Node
+from ..sim import Simulator, Trace
+from .costmodel import CostParameters
+from .loadinfo import ClusterView, LoadSnapshot
+
+__all__ = ["LoadDaemon"]
+
+
+class LoadDaemon:
+    """One node's load daemon."""
+
+    def __init__(self, sim: Simulator, node: Node, view: ClusterView,
+                 peer_views: dict[int, ClusterView], network: ClusterNetwork,
+                 params: Optional[CostParameters] = None,
+                 trace: Optional[Trace] = None) -> None:
+        self.sim = sim
+        self.node = node
+        self.view = view
+        self.peer_views = peer_views
+        self.network = network
+        self.params = params or CostParameters()
+        self.trace = trace
+        self.broadcasts = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+        self._prev_cpu_integral = node.cpu.population_integral()
+        self._prev_time = sim.now
+        self._proc = None
+
+    # -- sampling -----------------------------------------------------------
+    def sample(self) -> LoadSnapshot:
+        """Take a local load sample (window-averaged CPU run queue)."""
+        now = self.sim.now
+        integral = self.node.cpu.population_integral()
+        window = now - self._prev_time
+        if window > 0:
+            cpu_load = (integral - self._prev_cpu_integral) / window
+        else:
+            cpu_load = self.node.cpu_load()
+        self._prev_cpu_integral = integral
+        self._prev_time = now
+        return self._snapshot(cpu_load, now)
+
+    def probe(self) -> LoadSnapshot:
+        """Instantaneous local reading, without touching the broadcast
+        window state.  The broker uses this for the *local* candidate:
+        a node's own /proc is always current; only peer information is
+        stale."""
+        return self._snapshot(self.node.cpu_load(), self.sim.now)
+
+    def _snapshot(self, cpu_load: float, now: float) -> LoadSnapshot:
+        # Net load = fabric-port transfers plus in-flight client responses
+        # on the NIC (unless the NIC *is* the shared bus, as on the NOW,
+        # where node_load() already counts them).
+        net_load = float(self.network.node_load(self.node.id))
+        if self.node.nic is not getattr(self.network, "bus", None):
+            net_load += float(self.node.nic.njobs)
+        return LoadSnapshot(
+            node=self.node.id,
+            cpu_load=cpu_load,
+            disk_load=float(self.node.disk.channel_load),
+            net_load=net_load,
+            cpu_speed=self.node.cpu_speed,
+            disk_bandwidth=self.node.disk.bandwidth,
+            timestamp=now,
+        )
+
+    # -- the daemon loop -----------------------------------------------------
+    def start(self):
+        """Spawn the periodic broadcast process (returns it)."""
+        if self._proc is None:
+            self._proc = self.sim.spawn(self._run(), name=f"loadd@{self.node.id}")
+        return self._proc
+
+    def broadcast_now(self):
+        """One immediate sample + broadcast over the real interconnect."""
+        snap = self.sample()
+        self.view.update(snap)
+        self._ship(snap)
+        return snap
+
+    def bootstrap(self):
+        """Install an initial sample in *every* view synchronously.
+
+        At daemon start-up each node reads the static pool membership from
+        the configuration file, so views begin fully populated rather
+        than empty (otherwise the first requests would see a one-node
+        cluster)."""
+        snap = self.sample()
+        for view in self.peer_views.values():
+            view.update(snap)
+        return snap
+
+    def _run(self):
+        # Stagger daemons slightly by node id so broadcasts do not collide
+        # on the interconnect in lock-step (deterministic, not random).
+        yield self.sim.timeout(0.01 * self.node.id)
+        while True:
+            yield self.sim.timeout(self.params.loadd_period)
+            if not self.node.alive:
+                # A departed node is silent; peers stale it out.
+                continue
+            snap = self.sample()
+            self.view.update(snap)
+            # The sampling/packing work is real CPU time (§4.3 charges
+            # ~0.2 % of the CPU to load monitoring).
+            yield self.node.compute(self.params.loadd_ops, category="loadd")
+            self._ship(snap)
+
+    def _ship(self, snap: LoadSnapshot) -> None:
+        self.broadcasts += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "loadd", f"loadd-{self.node.id}",
+                            "broadcast", cpu=round(snap.cpu_load, 3),
+                            disk=snap.disk_load, net=snap.net_load)
+        for peer_id, peer_view in self.peer_views.items():
+            if peer_id == self.node.id:
+                continue
+            self.messages_sent += 1
+            self.bytes_sent += self.params.loadd_msg_bytes
+            done = self.network.transfer(self.node.id, peer_id,
+                                         self.params.loadd_msg_bytes,
+                                         tag="loadd")
+
+            def deliver(_ev, view=peer_view, s=snap):
+                view.update(s)
+
+            if done.callbacks is None:
+                deliver(done)
+            else:
+                done.callbacks.append(deliver)

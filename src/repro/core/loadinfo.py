@@ -1,0 +1,96 @@
+"""Load information data model.
+
+Each SWEB processor keeps its *own* view of the cluster, fed by periodic
+loadd broadcasts.  Views are therefore stale by up to one broadcast period
+plus network latency — faithfully reproducing the "unsynchronized
+overloading" hazard §3.2 mitigates with Δ-inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["LoadSnapshot", "ClusterView"]
+
+
+@dataclass(frozen=True)
+class LoadSnapshot:
+    """What one loadd broadcast says about a node."""
+
+    node: int
+    cpu_load: float        # run-queue length (jobs in service)
+    disk_load: float       # in-flight reads on the disk channel
+    net_load: float        # in-flight transfers at the node's fabric port
+    cpu_speed: float       # ops/s — heterogeneous nodes advertise theirs
+    disk_bandwidth: float  # bytes/s
+    timestamp: float       # when the sample was taken
+
+    def aged(self, now: float) -> float:
+        """Seconds since this sample was taken."""
+        return now - self.timestamp
+
+
+class ClusterView:
+    """One node's (possibly stale) picture of every processor.
+
+    ``staleness_timeout`` implements loadd's availability rule: a
+    processor "which ha[s] not responded in a preset period of time" is
+    marked unavailable (§3.1).
+    """
+
+    def __init__(self, owner: int, staleness_timeout: float = 8.0) -> None:
+        if staleness_timeout <= 0:
+            raise ValueError(f"staleness_timeout must be > 0, got {staleness_timeout}")
+        self.owner = owner
+        self.staleness_timeout = float(staleness_timeout)
+        self._snapshots: dict[int, LoadSnapshot] = {}
+
+    # -- updates --------------------------------------------------------------
+    def update(self, snapshot: LoadSnapshot) -> None:
+        """Install a fresh broadcast (or the local self-sample)."""
+        self._snapshots[snapshot.node] = snapshot
+
+    def inflate_cpu(self, node: int, delta: float) -> None:
+        """Conservatively raise a node's believed CPU load after routing a
+        request to it (§3.2: "we conservatively increase the CPU load of
+        p_x by Δ … Δ = 30%").
+
+        Multiplies the believed run-queue length by (1 + Δ) and adds Δ so
+        that an idle node (load 0) is also nudged; the additive term is
+        what prevents the synchronized herd onto a node everyone believes
+        idle.
+        """
+        snap = self._snapshots.get(node)
+        if snap is None:
+            return
+        new_load = snap.cpu_load * (1.0 + delta) + delta
+        self._snapshots[node] = replace(snap, cpu_load=new_load)
+
+    def forget(self, node: int) -> None:
+        self._snapshots.pop(node, None)
+
+    # -- queries ---------------------------------------------------------------
+    def get(self, node: int, now: float) -> Optional[LoadSnapshot]:
+        """Snapshot for ``node`` if fresh enough, else None (unavailable)."""
+        snap = self._snapshots.get(node)
+        if snap is None:
+            return None
+        if node != self.owner and snap.aged(now) > self.staleness_timeout:
+            return None
+        return snap
+
+    def available(self, now: float) -> list[LoadSnapshot]:
+        """Snapshots of every node currently believed available."""
+        out = []
+        for node in sorted(self._snapshots):
+            snap = self.get(node, now)
+            if snap is not None:
+                out.append(snap)
+        return out
+
+    def known_nodes(self) -> list[int]:
+        return sorted(self._snapshots)
+
+    def __repr__(self) -> str:
+        return f"<ClusterView owner={self.owner} nodes={self.known_nodes()}>"

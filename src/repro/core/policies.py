@@ -1,0 +1,153 @@
+"""Scheduling policies: SWEB and the baselines it is evaluated against.
+
+§4.2 compares three strategies —
+
+* **round-robin** ("the NCSA approach that uniformly distributes requests
+  to nodes"): DNS already rotated the request here, so the node simply
+  serves it;
+* **file locality** ("purely exploit the file locality by assigning
+  requests to the nodes that own the requested files");
+* **SWEB** — the broker's multi-faceted argmin.
+
+Plus two extra baselines used by our ablations: **cpu-only**, the
+single-faceted strategy of the load-balancing literature the paper argues
+against ([SHK95]), and **random**.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import RandomStreams
+from .broker import Broker, BrokerDecision
+from .oracle import TaskEstimate
+
+__all__ = [
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "FileLocalityPolicy",
+    "SWEBPolicy",
+    "CPUOnlyPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+class SchedulingPolicy:
+    """Decides which node serves a request that DNS delivered to ``broker.node_id``.
+
+    Every policy answers through the broker's :class:`BrokerDecision`
+    shape so the server code is policy-agnostic; only SWEB actually runs
+    the cost model.
+    """
+
+    name = "abstract"
+    #: whether the server should charge broker-analysis CPU time
+    consults_broker = False
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        raise NotImplementedError
+
+    def _trivial(self, broker: Broker, path: str, chosen: int) -> BrokerDecision:
+        file_size = broker.fs.locate(path).size if broker.fs.exists(path) else 0.0
+        task = broker.oracle.characterize(path, file_size)
+        return BrokerDecision(chosen=chosen, local=broker.node_id,
+                              estimates=(), task=task)
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Serve wherever DNS rotation landed the request (NCSA's approach)."""
+
+    name = "round-robin"
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        return self._trivial(broker, path, broker.node_id)
+
+
+class FileLocalityPolicy(SchedulingPolicy):
+    """Always move the request to the node owning the file."""
+
+    name = "file-locality"
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        chosen = broker.node_id
+        if broker.fs.exists(path):
+            chosen = broker.fs.locate(path).home
+        return self._trivial(broker, path, chosen)
+
+
+class SWEBPolicy(SchedulingPolicy):
+    """The paper's contribution: multi-faceted minimum-completion-time."""
+
+    name = "sweb"
+    consults_broker = True
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        return broker.choose_server(path, client_latency)
+
+
+class CPUOnlyPolicy(SchedulingPolicy):
+    """Single-faceted baseline: minimise the believed CPU run queue.
+
+    This is the classic load-balancing heuristic ([SHK95], [GDI93]); it
+    ignores disks and the interconnect entirely, which is exactly what
+    §1 argues is insufficient for WWW workloads.
+    """
+
+    name = "cpu-only"
+    consults_broker = True
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        now = broker.sim.now
+        candidates = broker.view.available(now)
+        if not candidates:
+            return self._trivial(broker, path, broker.node_id)
+        best = min(candidates,
+                   key=lambda s: (s.cpu_load / s.cpu_speed,
+                                  s.node != broker.node_id, s.node))
+        decision = self._trivial(broker, path, best.node)
+        if decision.redirected:
+            broker.view.inflate_cpu(best.node, broker.cost_model.params.delta)
+        return decision
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniform random placement (a sanity-check baseline)."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[RandomStreams] = None) -> None:
+        self.rng = rng or RandomStreams(seed=0)
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        now = broker.sim.now
+        candidates = broker.view.available(now)
+        if not candidates:
+            return self._trivial(broker, path, broker.node_id)
+        idx = self.rng.integers("random-policy", 0, len(candidates))
+        return self._trivial(broker, path, candidates[idx].node)
+
+
+POLICY_NAMES = ("round-robin", "file-locality", "sweb", "cpu-only", "random")
+
+
+def make_policy(name: str, rng: Optional[RandomStreams] = None) -> SchedulingPolicy:
+    """Factory used by experiment configs."""
+    table = {
+        "round-robin": RoundRobinPolicy,
+        "file-locality": FileLocalityPolicy,
+        "sweb": SWEBPolicy,
+        "cpu-only": CPUOnlyPolicy,
+    }
+    if name == "random":
+        return RandomPolicy(rng=rng)
+    if name not in table:
+        raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+    return table[name]()

@@ -1,0 +1,195 @@
+"""SWEBCluster — the facade wiring Figure 2 together.
+
+One object builds the whole logical server: the multicomputer hardware
+(nodes, disks, caches, interconnect), the distributed file system, the
+round-robin DNS front end, one httpd + broker + oracle + loadd per node,
+and the metrics plumbing.  This is the main entry point of the library::
+
+    from repro import SWEBCluster, meiko_cs2
+
+    cluster = SWEBCluster(meiko_cs2(), policy="sweb", seed=1)
+    cluster.add_file("/maps/sb.tif", 1.5e6, home=0)
+    client = cluster.client()
+    client.fetch("/maps/sb.tif")
+    cluster.run()
+    print(cluster.metrics.response_summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..cluster.topology import BuiltCluster, ClusterSpec, meiko_cs2
+from ..sim import RandomStreams, Simulator, Trace
+from ..web.cgi import CGIRegistry
+from ..web.client import Client, ClientProfile, UCSB_CLIENT
+from ..web.dns import RoundRobinDNS
+from ..web.metrics import Metrics
+from ..web.server import HTTPServer
+from .broker import Broker
+from .costmodel import CostModel, CostParameters
+from .loadd import LoadDaemon
+from .loadinfo import ClusterView
+from .oracle import Oracle
+from .policies import SchedulingPolicy, make_policy
+
+__all__ = ["SWEBCluster"]
+
+
+class SWEBCluster:
+    """The complete SWEB logical server on a simulated multicomputer."""
+
+    def __init__(self,
+                 spec: Optional[ClusterSpec] = None,
+                 policy: Union[str, SchedulingPolicy] = "sweb",
+                 params: Optional[CostParameters] = None,
+                 oracle: Optional[Oracle] = None,
+                 cgi_registry: Optional[CGIRegistry] = None,
+                 seed: int = 0,
+                 backlog: int = 64,
+                 dns_ttl: float = 0.0,
+                 trace: Optional[Trace] = None,
+                 start_loadd: bool = True,
+                 dispatcher: Optional[int] = None) -> None:
+        """``dispatcher`` enables the centralized design §3.1 *rejected*:
+        every request enters through that one node, whose scheduler
+        re-routes it.  "We did not take this approach mainly because …
+        the single central distributor becomes a single point of failure"
+        — see experiment X7 for the quantified reasons."""
+        self.spec = spec or meiko_cs2()
+        self.params = params or CostParameters()
+        self.rng = RandomStreams(seed=seed)
+        self.sim = Simulator()
+        self.trace = trace
+        self.metrics = Metrics()
+        #: real HTML markup for pages (filled by html_site_corpus; used by
+        #: the BrowserSession model to discover inline images)
+        self.page_markup: dict[str, str] = {}
+
+        built: BuiltCluster = self.spec.build(self.sim)
+        self.built = built
+        self.nodes = built.nodes
+        self.network = built.network
+        self.fs = built.fs
+        self.internet = built.internet
+
+        self.cgi = cgi_registry if cgi_registry is not None else CGIRegistry()
+        self.oracle = (oracle if oracle is not None
+                       else Oracle(cgi_registry=self.cgi))
+        if isinstance(policy, str):
+            policy = make_policy(policy, rng=self.rng)
+        self.policy = policy
+        self.cost_model = CostModel(self.params,
+                                    net_bandwidth=self.spec.network_bandwidth)
+
+        if dispatcher is not None:
+            if not 0 <= dispatcher < len(self.nodes):
+                raise ValueError(f"bad dispatcher node {dispatcher}")
+            zone = [dispatcher]
+        else:
+            zone = [n.id for n in self.nodes]
+        self.dispatcher = dispatcher
+        self.dns = RoundRobinDNS(self.sim, zone, ttl=dns_ttl)
+
+        # Per-node distributed state: view, broker, httpd, loadd.
+        self.views: dict[int, ClusterView] = {
+            n.id: ClusterView(owner=n.id,
+                              staleness_timeout=self.params.staleness_timeout)
+            for n in self.nodes}
+        self.loadds: dict[int, LoadDaemon] = {
+            n.id: LoadDaemon(self.sim, n, self.views[n.id], self.views,
+                             self.network, params=self.params,
+                             trace=self.trace)
+            for n in self.nodes}
+        self.brokers: dict[int, Broker] = {
+            n.id: Broker(self.sim, n.id, self.views[n.id], self.oracle,
+                         self.cost_model, self.fs, trace=self.trace,
+                         local_probe=self.loadds[n.id].probe)
+            for n in self.nodes}
+        self.servers: dict[int, HTTPServer] = {
+            n.id: HTTPServer(self.sim, n, self.fs, self.internet,
+                             self.policy, self.brokers[n.id],
+                             cgi_registry=self.cgi, params=self.params,
+                             backlog=backlog, trace=self.trace)
+            for n in self.nodes}
+        # Wire the httpds together for the forwarding mechanism.
+        for server in self.servers.values():
+            server.peers = self.servers
+        # Populate every view before the first request, then go periodic.
+        for daemon in self.loadds.values():
+            daemon.bootstrap()
+            if start_loadd:
+                daemon.start()
+
+    # -- content ----------------------------------------------------------
+    def add_file(self, path: str, size: float, home: int) -> None:
+        """Place one document on a node's disk."""
+        self.fs.add_file(path, size, home)
+
+    def add_striped_file(self, path: str, size: float, stripes) -> None:
+        """Stripe one document across several nodes' disks (§1's parallel
+        retrieval from inexpensive disks)."""
+        self.fs.add_striped_file(path, size, stripes)
+
+    def add_cgi(self, path: str, cpu_ops: float, output_bytes: float,
+                reads_path: Optional[str] = None) -> None:
+        """Register a CGI program (visible to both httpd and oracle)."""
+        self.cgi.add(path, cpu_ops, output_bytes, reads_path=reads_path)
+
+    # -- clients ---------------------------------------------------------------
+    def client(self, profile: ClientProfile = UCSB_CLIENT,
+               timeout: float = 120.0) -> Client:
+        """A client handle bound to this cluster's metrics."""
+        return Client(self, profile=profile, timeout=timeout)
+
+    def fetch(self, path: str, profile: ClientProfile = UCSB_CLIENT,
+              timeout: float = 120.0):
+        """Convenience: spawn a single request, return its Process."""
+        return self.client(profile, timeout=timeout).fetch(path)
+
+    # -- execution ------------------------------------------------------------
+    def run(self, until=None):
+        """Advance the simulation (to quiescence by default)."""
+        return self.sim.run(until=until)
+
+    # -- membership churn --------------------------------------------------------
+    def node_leave(self, node_id: int, update_dns: bool = False) -> None:
+        """Take a node out of the pool.  loadd goes silent, so peers mark
+        it unavailable after the staleness timeout; DNS keeps rotating to
+        it unless ``update_dns`` (administrators are slower than loadd)."""
+        self.nodes[node_id].leave()
+        if update_dns:
+            self.dns.deregister(node_id)
+
+    def node_join(self, node_id: int, update_dns: bool = True) -> None:
+        """Bring a node (back) into the pool."""
+        self.nodes[node_id].join()
+        self.loadds[node_id].broadcast_now()
+        if update_dns:
+            self.dns.register(node_id)
+
+    # -- accounting (§4.3) ---------------------------------------------------------
+    def cpu_seconds_by_category(self) -> dict[str, float]:
+        """Total CPU seconds per work category across all nodes."""
+        totals: dict[str, float] = {}
+        for node in self.nodes:
+            for cat, secs in node.cpu_seconds_by_category().items():
+                totals[cat] = totals.get(cat, 0.0) + secs
+        return totals
+
+    def cpu_share_by_category(self) -> dict[str, float]:
+        """Fraction of the cluster's *elapsed* CPU capacity used per
+        category — the paper's "% of CPU cycles" numbers."""
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return {}
+        capacity = elapsed * len(self.nodes)
+        return {cat: secs / capacity
+                for cat, secs in self.cpu_seconds_by_category().items()}
+
+    def total_redirections(self) -> int:
+        return sum(s.redirects_issued for s in self.servers.values())
+
+    def __repr__(self) -> str:
+        return (f"<SWEBCluster {self.spec.name!r} nodes={len(self.nodes)} "
+                f"policy={self.policy.name!r}>")

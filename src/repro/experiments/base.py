@@ -1,0 +1,42 @@
+"""Common shape of an experiment module.
+
+Every table/figure module exposes ``run(fast=True) -> ExperimentReport``.
+``fast`` runs a scaled-down version (shorter durations, smaller sweeps)
+suitable for the benchmark harness; ``fast=False`` runs at the paper's
+full durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .tables import ComparisonRow, render_comparison
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """One reproduced artifact: its table plus the paper comparison."""
+
+    exp_id: str               # "T1" … "T5", "F1" … "F3", "S1" … "S3", "X1" …
+    title: str
+    table: str                # rendered ASCII table (the regenerated artifact)
+    data: dict[str, Any] = field(default_factory=dict)
+    comparisons: list[ComparisonRow] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def shape_holds(self) -> bool:
+        """True when every checked qualitative claim held."""
+        checked = [c.ok for c in self.comparisons if c.ok is not None]
+        return all(checked) if checked else True
+
+    def render(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} ==", "", self.table]
+        if self.comparisons:
+            parts += ["", render_comparison(self.comparisons)]
+        if self.notes:
+            parts += ["", self.notes]
+        return "\n".join(parts)

@@ -1,0 +1,98 @@
+"""Extension X4 — the road not taken: request forwarding vs URL redirection.
+
+§3.1: "Two approaches, URL redirection or request forwarding, could be
+used to achieve reassignment and we use the former.  Request forwarding
+is very difficult to implement within HTTP."
+
+We implement forwarding anyway (the target fulfils the request and the
+response is relayed through the origin node's httpd) and measure the
+trade-off the authors never quantified: forwarding saves the client's
+extra connect round trip, but every relayed byte crosses the fabric and
+pays a second TCP-stack pass at the origin.  For a high-latency
+east-coast client the crossover falls between small (latency-bound,
+forwarding wins) and large (bandwidth-bound, redirection wins) files —
+so for the ADL's map-scan workload the paper's choice is also the fast
+one, not just the implementable one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.costmodel import CostParameters
+from ..core.sweb import SWEBCluster
+from ..cluster.topology import meiko_cs2
+from ..web.client import RUTGERS_CLIENT, UCSB_CLIENT
+from .base import ExperimentReport
+from .tables import ComparisonRow, render_table
+
+__all__ = ["run", "fetch_time"]
+
+SIZES = (1e3, 3e4, 3e5, 1.5e6)
+
+
+def fetch_time(reassignment: str, size: float, profile=RUTGERS_CLIENT,
+               seed: int = 1) -> float:
+    """One misdirected fetch (DNS node 0, file home 2) under a mechanism."""
+    params = replace(CostParameters(), reassignment=reassignment)
+    cluster = SWEBCluster(meiko_cs2(3), policy="file-locality", seed=seed,
+                          params=params)
+    cluster.add_file("/doc.gif", size, home=2)
+    proc = cluster.client(profile=profile).fetch("/doc.gif")
+    rec = cluster.run(until=proc)
+    if not rec.ok or rec.served_by != 2:
+        raise AssertionError(f"reassignment failed: {rec}")
+    return rec.response_time
+
+
+def run(fast: bool = True) -> ExperimentReport:
+    rows = []
+    data: dict[str, dict[float, float]] = {"forward": {}, "redirect": {}}
+    winners = {}
+    for size in SIZES:
+        t_fwd = fetch_time("forward", size)
+        t_red = fetch_time("redirect", size)
+        data["forward"][size] = t_fwd
+        data["redirect"][size] = t_red
+        winners[size] = "forward" if t_fwd < t_red else "redirect"
+        rows.append([f"{size / 1e3:g} KB", t_fwd, t_red, winners[size]])
+
+    # Local clients for reference (one row; the latency saving vanishes).
+    t_fwd_local = fetch_time("forward", 1.5e6, profile=UCSB_CLIENT)
+    t_red_local = fetch_time("redirect", 1.5e6, profile=UCSB_CLIENT)
+    rows.append(["1500 KB (UCSB client)", t_fwd_local, t_red_local,
+                 "forward" if t_fwd_local < t_red_local else "redirect"])
+
+    table = render_table(
+        headers=["file size", "forwarding (s)", "redirection (s)", "winner"],
+        rows=rows,
+        title="X4 — reassignment mechanism, east-coast client, misdirected "
+              "request", floatfmt=".3f")
+
+    comparisons = [
+        ComparisonRow(
+            "forwarding wins small files",
+            "saves the 302 round trip",
+            f"{data['forward'][1e3]:.3f}s vs {data['redirect'][1e3]:.3f}s",
+            "forward faster at 1 KB",
+            ok=data["forward"][1e3] < data["redirect"][1e3]),
+        ComparisonRow(
+            "redirection competitive on big files",
+            "paper chose redirection for a big-file library",
+            f"{data['redirect'][1.5e6]:.3f}s vs {data['forward'][1.5e6]:.3f}s",
+            "redirect within 5% (or better) at 1.5 MB",
+            ok=data["redirect"][1.5e6] < 1.05 * data["forward"][1.5e6]),
+        ComparisonRow(
+            "a crossover exists",
+            "(not quantified in the paper)",
+            " / ".join(f"{s / 1e3:g}KB:{winners[s][:3]}" for s in SIZES),
+            "winner changes across the size range",
+            ok=len(set(winners.values())) == 2),
+    ]
+    notes = ("Forwarding relays the full response through the origin httpd "
+             "(a second TCP-stack pass plus two fabric crossings) — the "
+             "implementation burden §3.1 cites, made quantitative.")
+    return ExperimentReport(exp_id="X4",
+                            title="Request forwarding vs URL redirection",
+                            table=table, data=data, comparisons=comparisons,
+                            notes=notes)

@@ -1,0 +1,79 @@
+"""ASCII table rendering and paper-vs-measured comparison helpers.
+
+Every experiment module prints its results with these, so the benchmark
+harness output looks like the tables in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+__all__ = ["render_table", "format_value", "ComparisonRow", "render_comparison"]
+
+
+def format_value(value: Any, floatfmt: str = ".2f") -> str:
+    """Human-friendly cell formatting (NaN → '-', floats per format)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf"
+        return f"{value:{floatfmt}}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None, floatfmt: str = ".2f") -> str:
+    """Monospace table with a header rule, e.g.::
+
+        rps | Round Robin | File locality | SWEB
+        ----+-------------+---------------+-----
+         10 |        4.33 |          4.21 | 4.15
+    """
+    cells = [[format_value(v, floatfmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class ComparisonRow:
+    """One paper-vs-measured line with a shape check.
+
+    ``check`` describes the *qualitative* expectation ("SWEB < RR",
+    "superlinear", "order of magnitude"), and ``ok`` whether the measured
+    values satisfy it — absolute agreement is not expected because the
+    substrate is a simulator, not the authors' Meiko.
+    """
+
+    def __init__(self, label: str, paper: Any, measured: Any,
+                 check: str = "", ok: Optional[bool] = None) -> None:
+        self.label = label
+        self.paper = paper
+        self.measured = measured
+        self.check = check
+        self.ok = ok
+
+    def as_row(self) -> list[Any]:
+        verdict = "-" if self.ok is None else ("yes" if self.ok else "NO")
+        return [self.label, self.paper, self.measured, self.check, verdict]
+
+
+def render_comparison(rows: Sequence[ComparisonRow],
+                      title: str = "paper vs measured") -> str:
+    return render_table(
+        headers=["quantity", "paper", "measured", "shape check", "holds"],
+        rows=[r.as_row() for r in rows],
+        title=title,
+    )

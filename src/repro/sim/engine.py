@@ -1,0 +1,464 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based discrete-event engine in the style
+of SimPy, written from scratch so the reproduction has no dependencies
+beyond numpy.  Processes are Python generators that ``yield`` :class:`Event`
+objects; the :class:`Simulator` advances virtual time and resumes each
+process when the event it waits on triggers.
+
+Determinism: the event queue breaks ties on (time, priority, sequence
+number), so two runs with the same seed produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for interrupts and simulation-control events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal kernel operations (double trigger, bad yield...)."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that halts :meth:`Simulator.run`."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    ``cause`` carries the value given by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """A condition that may trigger once, at a point in simulated time.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, which schedules it on the event queue; when the simulator
+    pops it, the event is *processed* and its callbacks run (resuming any
+    process waiting on it).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_defused")
+
+    #: event states
+    PENDING, TRIGGERED, PROCESSED = 0, 1, 2
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = Event.PENDING
+        self._defused = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._state >= Event.TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has run this event's callbacks."""
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload passed to :meth:`succeed` (or the failure exception)."""
+        if self._state == Event.PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(False, exception)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+        return self
+
+    def _trigger(self, ok: bool, value: Any, priority: int = NORMAL) -> None:
+        if self._state != Event.PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = ok
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.sim._push(self, delay=0.0, priority=priority)
+
+    # -- combinators -------------------------------------------------------
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        sim._push(self, delay=delay, priority=NORMAL)
+
+
+class _Interruption(Event):
+    """Urgent helper event that throws :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.sim)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self._state = Event.TRIGGERED
+        self.callbacks = [self._apply]
+        self.sim._push(self, delay=0.0, priority=URGENT)
+
+    def _apply(self, event: Event) -> None:
+        proc = self.process
+        if proc.triggered:  # process already finished; nothing to interrupt
+            return
+        # Detach the process from whatever it currently waits on, then make
+        # the interruption the thing that resumes it.
+        if proc._target is not None and proc._target.callbacks is not None:
+            try:
+                proc._target.callbacks.remove(proc._resume)
+            except ValueError:
+                pass
+        proc._resume(self)
+
+
+class Process(Event):
+    """A running generator.  As an :class:`Event` it triggers when the
+    generator returns (value = return value) or raises (failure)."""
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator,
+                 name: Optional[str] = None) -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"spawn() needs a generator, got {gen!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick the process off via an initialization event at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._state = Event.TRIGGERED
+        init.callbacks = [self._resume]
+        sim._push(init, delay=0.0, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == Event.PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits on (None if just started)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated; cannot interrupt")
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self.gen.send(event._value)
+                    else:
+                        event._defused = True
+                        target = self.gen.throw(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    self.fail(exc)
+                    return
+
+                if not isinstance(target, Event):
+                    msg = (f"process {self.name!r} yielded {target!r}; "
+                           f"processes must yield Event instances")
+                    err = SimulationError(msg)
+                    try:
+                        self.gen.throw(err)
+                    except StopIteration as stop:
+                        self._target = None
+                        self.succeed(stop.value)
+                        return
+                    except SimulationError:
+                        self._target = None
+                        self.fail(err)
+                        return
+                if target.sim is not self.sim:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded an event from a "
+                        f"different simulator")
+                if target.callbacks is None:
+                    # Already processed: resume immediately with its value.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        finally:
+            self.sim._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only events that have actually been *processed* (their callbacks
+        # ran) count as fired; a pending Timeout is triggered-but-unfired.
+        return {ev: ev._value
+                for ev in self.events
+                if ev.callbacks is None and ev._ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when any child event succeeds (fails on first failure)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)
+
+
+class Simulator:
+    """The event loop: owns virtual time and the pending-event heap."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._event_count = 0
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def event_count(self) -> int:
+        """Total events processed so far (a determinism fingerprint)."""
+        return self._event_count
+
+    # -- event construction --------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event, to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name=name)
+
+    # Alias familiar to simpy users.
+    process = spawn
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _push(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, when)
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        event._state = Event.PROCESSED
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run up to
+        that time), or an :class:`Event` (run until it is processed, and
+        return its value).
+        """
+        stop_value: Any = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    if not until._ok and not until._defused:
+                        until._defused = True
+                        raise until._value
+                    return until._value
+
+                def _halt(ev: Event) -> None:
+                    if not ev._ok and not ev._defused:
+                        ev._defused = True
+                        raise ev._value
+                    raise StopSimulation(ev._value)
+
+                until.callbacks.append(_halt)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} lies in the past (now={self._now})")
+                stopper = Event(self)
+                stopper._ok = True
+                stopper._value = None
+                stopper._state = Event.TRIGGERED
+                stopper.callbacks = [lambda ev: (_ for _ in ()).throw(StopSimulation(None))]
+                self._seq += 1
+                heapq.heappush(self._queue, (at, URGENT, self._seq, stopper))
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            stop_value = stop.value
+            if until is not None and not isinstance(until, Event):
+                self._now = float(until)
+            return stop_value
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError("run() ran out of events before `until` triggered")
+        return until._value if isinstance(until, Event) else None

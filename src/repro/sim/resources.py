@@ -1,0 +1,235 @@
+"""Queueing resources for the simulation kernel.
+
+Three classic primitives:
+
+* :class:`Resource` — a counted resource with ``capacity`` slots and a FIFO
+  wait queue (used for e.g. server accept slots, fork limits).
+* :class:`Store` — an unbounded-or-bounded FIFO buffer of Python objects
+  (used for message queues between processes).
+* :class:`Container` — a continuous quantity with ``put``/``get`` of float
+  amounts (used for e.g. memory accounting).
+
+All wait queues are FIFO, which keeps the simulator deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .engine import Event, Simulator, SimulationError
+
+__all__ = ["Request", "Release", "Resource", "Store", "Container"]
+
+
+class Request(Event):
+    """Pending acquisition of one slot of a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._do_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw the request (and release the slot if already granted)."""
+        self.resource._do_cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.cancel()
+
+
+class Release(Event):
+    """Immediate release of a previously granted :class:`Request`."""
+
+    __slots__ = ()
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.sim)
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """``capacity`` identical slots with a FIFO waiting line."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - len(self.users)
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Give back the slot held by ``request``."""
+        return Release(self, request)
+
+    # -- internals ---------------------------------------------------------
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+
+    def _do_release(self, req: Request) -> None:
+        try:
+            self.users.remove(req)
+        except ValueError:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self._grant_next()
+
+    def _do_cancel(self, req: Request) -> None:
+        if req in self.users:
+            self.users.remove(req)
+            self._grant_next()
+        else:
+            try:
+                self.queue.remove(req)
+            except ValueError:
+                pass  # cancelled twice, or already granted+released: no-op
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def __repr__(self) -> str:
+        return (f"<Resource capacity={self.capacity} "
+                f"used={self.count} queued={len(self.queue)}>")
+
+
+class Store:
+    """A FIFO buffer of arbitrary items with optional capacity bound."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the event triggers once it is accepted."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-waiting put; returns False when the store is full."""
+        if len(self.items) + len(self._putters) >= self.capacity:
+            return False
+        self.put(item)
+        return True
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed()
+                progressed = True
+            while self._getters and self.items:
+                ev = self._getters.popleft()
+                ev.succeed(self.items.popleft())
+                progressed = True
+
+
+class Container:
+    """A continuous quantity (float) with blocking put/get."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; triggers once it fits under ``capacity``."""
+        if amount < 0:
+            raise ValueError(f"negative put amount: {amount}")
+        ev = Event(self.sim)
+        self._putters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; triggers once that much is available."""
+        if amount < 0:
+            raise ValueError(f"negative get amount: {amount}")
+        ev = Event(self.sim)
+        self._getters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity + 1e-12:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    progressed = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if amount <= self._level + 1e-12:
+                    self._getters.popleft()
+                    self._level = max(0.0, self._level - amount)
+                    ev.succeed()
+                    progressed = True

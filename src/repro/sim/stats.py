@@ -1,0 +1,191 @@
+"""Measurement helpers: summaries, time-weighted values, counters.
+
+The experiment harness reports the same quantities the paper does —
+average response time, drop rate, maximum sustained rps, per-phase cost
+breakdowns, and server-side CPU-overhead percentages — all built from
+these primitives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["Summary", "Tally", "TimeWeighted", "Counter", "PhaseAccumulator"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Immutable numeric summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    total: float
+
+    @staticmethod
+    def empty() -> "Summary":
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan, 0.0)
+
+    @staticmethod
+    def of(values: Iterable[float]) -> "Summary":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            return Summary.empty()
+        p50, p90, p99 = np.percentile(arr, [50, 90, 99])
+        return Summary(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            p50=float(p50),
+            p90=float(p90),
+            p99=float(p99),
+            total=float(arr.sum()),
+        )
+
+
+class Tally:
+    """Collects scalar observations (e.g. per-request response times)."""
+
+    def __init__(self, name: str = "tally") -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def total(self) -> float:
+        return float(np.sum(self.values)) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            return float("nan")
+        return float(np.percentile(self.values, q))
+
+    def summary(self) -> Summary:
+        return Summary.of(self.values)
+
+    def __repr__(self) -> str:
+        return f"<Tally {self.name!r} n={self.count} mean={self.mean:.4g}>"
+
+
+class TimeWeighted:
+    """A piecewise-constant signal with time-weighted averaging.
+
+    ``update(t, v)`` sets the value at time ``t``; ``average(t0, t1)`` is the
+    exact time-weighted mean over the window (used for CPU load averages
+    seen by ``loadd``).
+    """
+
+    def __init__(self, initial: float = 0.0, at: float = 0.0) -> None:
+        self._times: list[float] = [float(at)]
+        self._values: list[float] = [float(initial)]
+
+    @property
+    def current(self) -> float:
+        return self._values[-1]
+
+    def update(self, t: float, value: float) -> None:
+        if t < self._times[-1] - 1e-12:
+            raise ValueError("time must be non-decreasing")
+        if value == self._values[-1]:
+            return
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def add(self, t: float, delta: float) -> None:
+        self.update(t, self._values[-1] + delta)
+
+    def value_at(self, t: float) -> float:
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        idx = max(idx, 0)
+        return self._values[idx]
+
+    def average(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return self.value_at(t0)
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        # Integrate the step function over [t0, t1].
+        edges = np.concatenate(([t0], times[(times > t0) & (times < t1)], [t1]))
+        idx = np.searchsorted(times, edges[:-1], side="right") - 1
+        idx = np.clip(idx, 0, len(values) - 1)
+        widths = np.diff(edges)
+        return float(np.sum(values[idx] * widths) / (t1 - t0))
+
+
+class Counter:
+    """Named integer counters (drops, redirects, cache hits...)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def incr(self, key: str, by: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + by
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        return f"<Counter {self._counts!r}>"
+
+
+class PhaseAccumulator:
+    """Accumulates time spent per named phase (Table 5's breakdown)."""
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def record(self, phase: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration for {phase!r}: {duration}")
+        self._totals[phase] = self._totals.get(phase, 0.0) + duration
+        self._counts[phase] = self._counts.get(phase, 0) + 1
+
+    def total(self, phase: str) -> float:
+        return self._totals.get(phase, 0.0)
+
+    def count(self, phase: str) -> int:
+        return self._counts.get(phase, 0)
+
+    def mean(self, phase: str) -> float:
+        n = self._counts.get(phase, 0)
+        return self._totals.get(phase, 0.0) / n if n else float("nan")
+
+    def phases(self) -> list[str]:
+        return sorted(self._totals)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._totals)
+
+    def merge(self, other: "PhaseAccumulator") -> None:
+        for phase, total in other._totals.items():
+            self._totals[phase] = self._totals.get(phase, 0.0) + total
+            self._counts[phase] = self._counts.get(phase, 0) + other._counts[phase]

@@ -1,0 +1,52 @@
+"""WWW substrate: HTTP messages, DNS, CGI, clients, and the httpd."""
+
+from .cgi import CGIProgram, CGIRegistry
+from .browser import BrowserSession, PageLoad
+from .client import Client, ClientProfile, RUTGERS_CLIENT, UCSB_CLIENT
+from .dns import RoundRobinDNS
+from .html import (
+    HTMLPage,
+    extract_images,
+    extract_links,
+    render_page,
+)
+from .http import (
+    HTTPError,
+    HTTPRequest,
+    HTTPResponse,
+    STATUS_REASONS,
+    parse_url,
+    redirect_response,
+)
+from .metrics import Metrics, PHASE_NAMES, RequestRecord
+from .resolver import AuthoritativeDNS, LocalResolver
+from .server import Connection, HTTPServer
+
+__all__ = [
+    "AuthoritativeDNS",
+    "BrowserSession",
+    "CGIProgram",
+    "CGIRegistry",
+    "Client",
+    "ClientProfile",
+    "Connection",
+    "HTMLPage",
+    "HTTPError",
+    "HTTPRequest",
+    "HTTPResponse",
+    "HTTPServer",
+    "LocalResolver",
+    "Metrics",
+    "PHASE_NAMES",
+    "PageLoad",
+    "RUTGERS_CLIENT",
+    "RequestRecord",
+    "RoundRobinDNS",
+    "STATUS_REASONS",
+    "UCSB_CLIENT",
+    "extract_images",
+    "extract_links",
+    "parse_url",
+    "redirect_response",
+    "render_page",
+]

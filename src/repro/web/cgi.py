@@ -1,0 +1,80 @@
+"""CGI program registry.
+
+The Alexandria Digital Library workload the paper is built for is not
+static HTML: spatial queries and metadata lookups run as CGI programs with
+"known associated computational cost" (the t_CPU term).  The registry maps
+CGI paths to their cost profile so both the server (to execute) and the
+oracle (to predict) can look them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["CGIProgram", "CGIRegistry"]
+
+
+@dataclass(frozen=True)
+class CGIProgram:
+    """Cost profile of one CGI executable."""
+
+    path: str
+    cpu_ops: float          # operations to execute the program
+    output_bytes: float     # size of the generated reply body
+    reads_path: Optional[str] = None   # data file it scans, if any
+
+    def __post_init__(self) -> None:
+        if self.cpu_ops < 0:
+            raise ValueError(f"negative cpu_ops for {self.path!r}")
+        if self.output_bytes < 0:
+            raise ValueError(f"negative output_bytes for {self.path!r}")
+
+
+class CGIRegistry:
+    """Registered CGI programs, keyed by exact path.
+
+    Anything under ``/cgi-bin/`` is *treated* as CGI; unregistered CGI
+    paths fall back to a default profile (the server cannot refuse to run
+    a script just because the oracle has never seen it).
+    """
+
+    CGI_PREFIX = "/cgi-bin/"
+
+    def __init__(self, default_ops: float = 2e6,
+                 default_output: float = 8e3) -> None:
+        self._programs: dict[str, CGIProgram] = {}
+        self.default_ops = float(default_ops)
+        self.default_output = float(default_output)
+
+    def register(self, program: CGIProgram) -> None:
+        if not program.path.startswith(self.CGI_PREFIX):
+            raise ValueError(
+                f"CGI programs must live under {self.CGI_PREFIX!r}: {program.path!r}")
+        self._programs[program.path] = program
+
+    def add(self, path: str, cpu_ops: float, output_bytes: float,
+            reads_path: Optional[str] = None) -> CGIProgram:
+        prog = CGIProgram(path=path, cpu_ops=cpu_ops,
+                          output_bytes=output_bytes, reads_path=reads_path)
+        self.register(prog)
+        return prog
+
+    def is_cgi(self, path: str) -> bool:
+        return path.startswith(self.CGI_PREFIX)
+
+    def lookup(self, path: str) -> CGIProgram:
+        """Profile for ``path`` (default profile if unregistered)."""
+        if not self.is_cgi(path):
+            raise KeyError(f"not a CGI path: {path!r}")
+        prog = self._programs.get(path)
+        if prog is None:
+            prog = CGIProgram(path=path, cpu_ops=self.default_ops,
+                              output_bytes=self.default_output)
+        return prog
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._programs

@@ -1,0 +1,174 @@
+"""HTTP clients: the left-hand side of Figure 1.
+
+A client resolves the server name through the (round-robin) DNS, opens a
+TCP connection, sends the request, and waits for the full response —
+following at most one SWEB 302 redirection, "the conceptual model … of a
+very short reply going back to the client browser, who then automatically
+issues another request to the new server address" (§3.2).
+
+Client profiles carry the WAN path parameters: the paper tested from
+within UCSB (low latency, high bandwidth) and from Rutgers on the east
+coast ("poor bandwidth and long latency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from ..cluster.network import WANPath
+from ..sim import AnyOf, Event
+from .http import HTTPRequest, HTTPResponse
+from .metrics import Metrics, RequestRecord
+from .server import Connection
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.sweb import SWEBCluster
+
+__all__ = ["ClientProfile", "Client", "UCSB_CLIENT", "RUTGERS_CLIENT"]
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """Where a client sits on the Internet."""
+
+    name: str
+    wan: WANPath
+    domain: str = "default"   # its local DNS resolver's domain (TTL caching)
+
+
+#: A browser on the UCSB campus network (the paper's primary client pool).
+UCSB_CLIENT = ClientProfile(name="ucsb",
+                            wan=WANPath(latency=2e-3, bandwidth=5e6,
+                                        name="ucsb-lan"),
+                            domain="ucsb.edu")
+
+#: A browser at Rutgers: cross-country latency, thin mid-90s pipe.
+RUTGERS_CLIENT = ClientProfile(name="rutgers",
+                               wan=WANPath(latency=40e-3, bandwidth=0.3e6,
+                                           name="east-coast"),
+                               domain="rutgers.edu")
+
+
+class Client:
+    """Issues requests against a :class:`SWEBCluster`."""
+
+    def __init__(self, cluster: "SWEBCluster",
+                 profile: ClientProfile = UCSB_CLIENT,
+                 metrics: Optional[Metrics] = None,
+                 timeout: float = 120.0,
+                 resolver=None) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.cluster = cluster
+        self.profile = profile
+        self.metrics = metrics if metrics is not None else cluster.metrics
+        self.timeout = timeout
+        #: optional two-level resolver (repro.web.resolver.LocalResolver);
+        #: when None, the cluster's fused RoundRobinDNS answers directly.
+        self.resolver = resolver
+
+    # -- public API -------------------------------------------------------
+    def fetch(self, path: str, method: str = "GET",
+              body_bytes: float = 0.0):
+        """Spawn one request; the returned Process resolves to its record.
+
+        ``body_bytes`` is the upload size for POST (ignored otherwise).
+        """
+        return self.cluster.sim.spawn(self._fetch(path, method, body_bytes),
+                                      name=f"client.{self.profile.name}")
+
+    # -- the request state machine ------------------------------------------
+    def _fetch(self, path: str, method: str = "GET",
+               body_bytes: float = 0.0):
+        sim = self.cluster.sim
+        size = (self.cluster.fs.locate(path).size
+                if self.cluster.fs.exists(path) else 0.0)
+        rec = self.metrics.new_record(path, start=sim.now,
+                                      client=self.profile.name, size=size)
+        deadline = sim.timeout(self.timeout)
+
+        # --- DNS: Figure 1's first exchange ---------------------------------
+        t0 = sim.now
+        try:
+            if self.resolver is not None:
+                node_id = yield self.resolver.resolve()
+            else:
+                yield sim.timeout(self.cluster.dns.lookup_latency)
+                node_id = self.cluster.dns.resolve(self.profile.domain)
+        except LookupError:
+            self.metrics.drop(rec, sim.now, reason="dns")
+            return rec
+        rec.dns_node = node_id
+        rec.add_phase("network", sim.now - t0)
+        if self.cluster.trace is not None:
+            self.cluster.trace.emit(sim.now, "http",
+                                    f"client-{rec.req_id}", "dns_lookup",
+                                    node=node_id)
+
+        request_text = HTTPRequest(
+            method=method, path=path,
+            host=f"sweb{node_id}.cs.ucsb.edu",
+            headers={"User-Agent": "Mosaic/2.6 (X11; SunOS)"}).format()
+
+        hop = 0
+        while True:
+            server = self.cluster.servers[node_id]
+            phase = "network" if hop == 0 else "redirection"
+
+            # --- TCP connect: one WAN round trip + server setup ----------
+            t1 = sim.now
+            yield sim.timeout(2 * self.profile.wan.latency
+                              + self.cluster.params.connect_time)
+            conn = self._connection(request_text, rec, hop, body_bytes)
+            if not server.try_accept(conn):
+                rec.add_phase(phase, sim.now - t1)
+                self.metrics.drop(rec, sim.now, reason="refused")
+                if self.cluster.trace is not None:
+                    self.cluster.trace.emit(sim.now, "http",
+                                            f"client-{rec.req_id}",
+                                            "refused", node=node_id)
+                return rec
+            # --- ship the request line + headers (small, one way) ---------
+            yield sim.timeout(self.profile.wan.latency)
+            rec.add_phase(phase, sim.now - t1)
+
+            # --- wait for the full response, bounded by the deadline ------
+            yield AnyOf(sim, [conn.reply, deadline])
+            if not conn.reply.triggered:
+                self.metrics.drop(rec, sim.now, reason="timeout")
+                if self.cluster.trace is not None:
+                    self.cluster.trace.emit(sim.now, "http",
+                                            f"client-{rec.req_id}",
+                                            "timeout", node=node_id)
+                return rec
+            response: HTTPResponse = conn.reply.value
+
+            if response.is_redirect and hop == 0:
+                # Follow the 302 exactly once (the SWEB rule).
+                rec.redirected = True
+                node_id = int(response.headers["X-SWEB-Node"])
+                if self.cluster.trace is not None:
+                    self.cluster.trace.emit(sim.now, "http",
+                                            f"client-{rec.req_id}",
+                                            "follow_redirect", to=node_id)
+                hop = 1
+                continue
+            self.metrics.finish(rec, sim.now, response.status)
+            if self.cluster.trace is not None:
+                self.cluster.trace.emit(sim.now, "http",
+                                        f"client-{rec.req_id}", "complete",
+                                        status=response.status,
+                                        node=node_id)
+            return rec
+
+    def _connection(self, request_text: str, rec: RequestRecord,
+                    hop: int, body_bytes: float = 0.0) -> Connection:
+        return Connection(
+            raw_request=request_text,
+            wan=self.profile.wan,
+            record=rec,
+            reply=Event(self.cluster.sim),
+            redirects_left=max(0, self.cluster.params.max_redirects - hop),
+            body_bytes=body_bytes,
+        )

@@ -1,0 +1,83 @@
+"""Round-robin DNS, the first-stage request distributor (§3.1, Figure 2).
+
+"User requests are first evenly routed to SWEB processors via the DNS
+rotation … The major advantages of this technique are simplicity, ease of
+implementation, and reliability."  The paper also names its weaknesses,
+both of which this model exposes:
+
+* the rotation "assigns the requests without consulting dynamically-
+  changing system load information";
+* **DNS caching**: a local resolver caches the name→IP mapping for its
+  TTL, so "all requests for a period of time from a DNS server's domain
+  will go to a particular IP address" — modelled with a per-domain cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator
+
+__all__ = ["RoundRobinDNS"]
+
+
+class RoundRobinDNS:
+    """Rotating name server over the cluster's node addresses."""
+
+    def __init__(self, sim: Simulator, addresses: list[int],
+                 ttl: float = 0.0, lookup_latency: float = 1e-3) -> None:
+        if not addresses:
+            raise ValueError("DNS needs at least one address")
+        if ttl < 0:
+            raise ValueError(f"negative TTL: {ttl}")
+        self.sim = sim
+        self.addresses = list(addresses)
+        self.ttl = float(ttl)
+        self.lookup_latency = float(lookup_latency)
+        self._cursor = 0
+        # domain -> (address, expiry time): the *client-side* resolver cache.
+        self._cache: dict[str, tuple[int, float]] = {}
+        self.queries = 0
+        self.cache_hits = 0
+
+    # -- zone management --------------------------------------------------
+    def register(self, address: int) -> None:
+        """Add a node to the rotation (a machine joining the pool)."""
+        if address not in self.addresses:
+            self.addresses.append(address)
+
+    def deregister(self, address: int) -> None:
+        """Drop a node from the rotation (a machine leaving the pool).
+
+        Cached mappings keep pointing at it until they expire — the
+        staleness problem the paper notes DNS cannot avoid.
+        """
+        try:
+            self.addresses.remove(address)
+        except ValueError:
+            pass
+
+    # -- resolution -----------------------------------------------------------
+    def resolve(self, domain: str = "default") -> int:
+        """Resolve the server name as seen from ``domain``'s local resolver."""
+        self.queries += 1
+        if self.ttl > 0:
+            cached = self._cache.get(domain)
+            if cached is not None and cached[1] > self.sim.now:
+                self.cache_hits += 1
+                return cached[0]
+        if not self.addresses:
+            raise LookupError("no addresses registered")
+        address = self.addresses[self._cursor % len(self.addresses)]
+        self._cursor += 1
+        if self.ttl > 0:
+            self._cache[domain] = (address, self.sim.now + self.ttl)
+        return address
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<RoundRobinDNS addresses={self.addresses} ttl={self.ttl} "
+                f"hit_rate={self.cache_hit_rate:.2f}>")

@@ -1,0 +1,299 @@
+"""The SWEB httpd: an NCSA-style daemon with the broker bolted on (§3.1).
+
+Each node runs one :class:`HTTPServer`.  A request moves through the four
+steps of §3.2 — preprocess, analyze, redirection, fulfillment — with each
+step's cost charged to the node's simulated CPU under a named category,
+so the §4.3 overhead accounting (parsing vs. scheduling vs. loadd) is an
+output of the run rather than an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from ..cluster.network import Internet, WANPath
+from ..cluster.node import Node
+from ..cluster.filesystem import DistributedFileSystem
+from ..sim import Event, Simulator, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a web <-> core import cycle
+    from ..core.broker import Broker
+    from ..core.costmodel import CostParameters
+    from ..core.policies import SchedulingPolicy
+from .cgi import CGIRegistry
+from .http import (
+    HTTPError,
+    HTTPRequest,
+    HTTPResponse,
+    redirect_response,
+)
+from .metrics import Metrics, RequestRecord
+
+__all__ = ["Connection", "HTTPServer"]
+
+
+@dataclass
+class Connection:
+    """One client↔server TCP connection carrying one HTTP request."""
+
+    raw_request: str
+    wan: WANPath
+    record: RequestRecord
+    reply: Event
+    redirects_left: int = 1
+    #: request body size (POST uploads; 0 for GET/HEAD)
+    body_bytes: float = 0.0
+    #: when set, this is an internal *forwarded* connection: the response
+    #: is relayed over the cluster fabric back to the origin node instead
+    #: of straight onto the Internet (the "request forwarding" mechanism
+    #: §3.1 considered and rejected for the real implementation).
+    relay_to: Optional["HTTPServer"] = None
+
+    @property
+    def client_latency(self) -> float:
+        return self.wan.latency
+
+
+class HTTPServer:
+    """One node's httpd + broker, accepting connections from clients."""
+
+    def __init__(self, sim: Simulator, node: Node, fs: DistributedFileSystem,
+                 internet: Internet, policy: "SchedulingPolicy",
+                 broker: "Broker",
+                 cgi_registry: Optional[CGIRegistry] = None,
+                 params: Optional["CostParameters"] = None,
+                 backlog: int = 64, hostname: Optional[str] = None,
+                 trace: Optional[Trace] = None) -> None:
+        if backlog < 1:
+            raise ValueError(f"backlog must be >= 1, got {backlog}")
+        if params is None:
+            from ..core.costmodel import CostParameters
+            params = CostParameters()
+        self.sim = sim
+        self.node = node
+        self.fs = fs
+        self.internet = internet
+        self.policy = policy
+        self.broker = broker
+        self.cgi = cgi_registry if cgi_registry is not None else CGIRegistry()
+        self.params = params
+        self.backlog = backlog
+        self.hostname = hostname or f"sweb{node.id}.cs.ucsb.edu"
+        self.trace = trace
+        #: peer httpds by node id (wired by SWEBCluster; used by the
+        #: request-forwarding mechanism)
+        self.peers: dict[int, "HTTPServer"] = {}
+        self.connections_active = 0
+        self.connections_refused = 0
+        self.requests_handled = 0
+        self.redirects_issued = 0
+        self.forwards_issued = 0
+
+    # -- connection admission -----------------------------------------------
+    def try_accept(self, conn: Connection) -> bool:
+        """Admit a connection, or refuse it (SYN drop) when the listen
+        queue is full or the node has left the pool."""
+        if not self.node.alive or self.connections_active >= self.backlog:
+            self.connections_refused += 1
+            return False
+        self.connections_active += 1
+        self.sim.spawn(self._handle(conn), name=f"httpd{self.node.id}.conn")
+        return True
+
+    # -- the §3.2 request pipeline ----------------------------------------------
+    def _handle(self, conn: Connection):
+        rec = conn.record
+        try:
+            # ---- step 1: preprocess ------------------------------------
+            t0 = self.sim.now
+            # fork the handling process, then parse the HTTP command,
+            # complete the pathname and determine permissions.
+            yield self.node.compute(self.params.fork_ops, category="fork")
+            try:
+                request = HTTPRequest.parse(conn.raw_request)
+            except HTTPError:
+                yield self.node.compute(self.params.preprocess_ops,
+                                        category="parsing")
+                rec.add_phase("preprocessing", self.sim.now - t0)
+                yield from self._respond(conn, HTTPResponse(status=400))
+                return
+            yield self.node.compute(self.params.preprocess_ops,
+                                    category="parsing")
+            rec.add_phase("preprocessing", self.sim.now - t0)
+
+            if request.method == "POST" and self.params.enable_post:
+                # The extension the paper names as future work: POST is
+                # executed as a CGI after the body is uploaded, and is
+                # never redirected (it is not idempotent).
+                yield from self._handle_post(conn, request)
+                return
+            if not request.is_supported:
+                # POST etc: "not handled, but SWEB could be extended".
+                yield from self._respond(conn, HTTPResponse(status=501))
+                return
+            path = request.path
+            is_cgi = self.cgi.is_cgi(path)
+            if not is_cgi and not self.fs.exists(path):
+                yield from self._respond(conn, HTTPResponse(status=404))
+                return
+
+            # ---- step 2: analyze ------------------------------------------
+            # "If r is already determined to be a redirection … the request
+            # is always completed at x" — no second hop, no ping-pong.
+            may_move = conn.redirects_left > 0 and not is_cgi
+            decision = None
+            if may_move:
+                t1 = self.sim.now
+                if self.policy.consults_broker:
+                    yield self.node.compute(self.params.analysis_ops,
+                                            category="scheduling")
+                decision = self.policy.decide(self.broker, path,
+                                              conn.client_latency)
+                rec.add_phase("analysis", self.sim.now - t1)
+
+            # ---- step 3: redirection (or forwarding) -------------------------
+            if decision is not None and decision.chosen != self.node.id:
+                target = self.broker.view.get(decision.chosen, self.sim.now)
+                if target is not None and self.params.reassignment == "forward":
+                    yield from self._forward(conn, decision.chosen)
+                    return
+                if target is not None:
+                    t2 = self.sim.now
+                    yield self.node.compute(self.params.redirect_ops,
+                                            category="scheduling")
+                    response = redirect_response(
+                        f"sweb{decision.chosen}.cs.ucsb.edu", path)
+                    response.headers["X-SWEB-Node"] = str(decision.chosen)
+                    rec.add_phase("redirection", self.sim.now - t2)
+                    self.redirects_issued += 1
+                    if self.trace is not None:
+                        self.trace.emit(self.sim.now, "http",
+                                        f"httpd-{self.node.id}", "redirect",
+                                        path=path, to=decision.chosen)
+                    yield from self._respond(conn, response)
+                    return
+
+            # ---- step 4: fulfillment ------------------------------------------
+            yield from self._fulfill(conn, request, is_cgi)
+        finally:
+            self.connections_active -= 1
+
+    def _forward(self, conn: Connection, target_id: int):
+        """Request forwarding: ship the request over the cluster fabric,
+        let the target fulfil it, relay its response back, and answer the
+        client ourselves.
+
+        §3.1 rejected this for the real system ("very difficult to
+        implement within HTTP") in favour of URL redirection; it lives
+        here so the trade-off — no extra client round trip, but the whole
+        response crosses the interconnect twice-removed — is measurable
+        (experiment X4).
+        """
+        rec = conn.record
+        network = self.fs.network
+        t0 = self.sim.now
+        yield self.node.compute(self.params.redirect_ops, category="scheduling")
+        inner = Connection(raw_request=conn.raw_request, wan=conn.wan,
+                           record=rec, reply=Event(self.sim),
+                           redirects_left=0, relay_to=self)
+        peer = self.peers.get(target_id)
+        # Ship the request text across the fabric; fall back to local
+        # service if the peer cannot take it.
+        yield network.transfer(self.node.id, target_id,
+                               len(conn.raw_request), tag="fwd-req")
+        rec.add_phase("redirection", self.sim.now - t0)
+        if peer is None or not peer.try_accept(inner):
+            request = HTTPRequest.parse(conn.raw_request)
+            yield from self._fulfill(conn, request,
+                                     self.cgi.is_cgi(request.path))
+            return
+        self.forwards_issued += 1
+        rec.redirected = True
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "http", f"httpd-{self.node.id}",
+                            "forward", to=target_id)
+        response: HTTPResponse = yield inner.reply
+        # The relayed response now leaves through *our* NIC.
+        yield from self._respond(conn, response, phase="data_transfer")
+
+    def _handle_post(self, conn: Connection, request: HTTPRequest):
+        """POST: upload the body, then run the target CGI locally."""
+        rec = conn.record
+        path = request.path
+        if not self.cgi.is_cgi(path):
+            yield from self._respond(conn, HTTPResponse(status=501))
+            return
+        t0 = self.sim.now
+        if conn.body_bytes > 0:
+            # The body flows up the client's WAN path into our NIC.
+            yield self.internet.send(self.node.nic, conn.wan,
+                                     conn.body_bytes,
+                                     tag=f"upload{rec.req_id}")
+        rec.add_phase("network", self.sim.now - t0)
+        yield from self._fulfill(conn, request, is_cgi=True)
+
+    def _fulfill(self, conn: Connection, request: HTTPRequest, is_cgi: bool):
+        rec = conn.record
+        path = request.path
+        t0 = self.sim.now
+        if is_cgi:
+            prog = self.cgi.lookup(path)
+            # A CGI may scan a data file before computing.
+            if prog.reads_path is not None and self.fs.exists(prog.reads_path):
+                yield self.fs.read(prog.reads_path, at_node=self.node.id)
+            yield self.node.compute(prog.cpu_ops, category="cgi")
+            body = prog.output_bytes
+        else:
+            outcome = yield self.fs.read(path, at_node=self.node.id)
+            body = outcome.nbytes
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "io", f"httpd-{self.node.id}",
+                                "file_read", path=path, source=outcome.source,
+                                remote=outcome.remote)
+        response = HTTPResponse(status=200, body_bytes=body)
+        if request.method == "HEAD":
+            response.body_bytes = 0.0
+        rec.add_phase("data_transfer", self.sim.now - t0)
+        rec.served_by = self.node.id
+        # Feed the measured cost back to a learning oracle, if one is
+        # installed (AdaptiveOracle; plain Oracle has no observe()).
+        observe = getattr(self.broker.oracle, "observe", None)
+        if observe is not None and not is_cgi and body > 0:
+            observe(path, body, self.params.send_ops_per_byte * body)
+        yield from self._respond(conn, response, phase="data_transfer")
+
+    def _respond(self, conn: Connection, response: HTTPResponse,
+                 phase: str = "network"):
+        """Push the response onto the wire; completes when the last byte
+        reaches the client, then wakes the client.
+
+        The TCP stack's packetising/marshalling CPU is charged
+        concurrently with the transfer (the stack overlaps with the wire),
+        so big responses raise the node's run queue — the "processor load
+        caused by the overhead necessary to send bytes out" of §3."""
+        t0 = self.sim.now
+        if conn.relay_to is not None:
+            # Forwarded request: relay the response across the fabric to
+            # the origin node, which owns the client connection.
+            wire = self.fs.network.transfer(self.node.id,
+                                            conn.relay_to.node.id,
+                                            response.wire_bytes,
+                                            tag=f"relay{conn.record.req_id}")
+        else:
+            wire = self.internet.send(self.node.nic, conn.wan,
+                                      response.wire_bytes,
+                                      tag=f"resp{conn.record.req_id}")
+        send_ops = self.params.send_ops_per_byte * response.body_bytes
+        if send_ops > 0:
+            stack = self.node.compute(send_ops, category="send")
+            yield wire & stack
+        else:
+            yield wire
+        conn.record.add_phase(phase, self.sim.now - t0)
+        self.requests_handled += 1
+        conn.reply.succeed(response)
+
+    def __repr__(self) -> str:
+        return (f"<HTTPServer node={self.node.id} policy={self.policy.name} "
+                f"active={self.connections_active}/{self.backlog}>")

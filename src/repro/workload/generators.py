@@ -1,0 +1,183 @@
+"""Request-arrival generators.
+
+The paper's load generator "simulat[es] the action of a graphical browser
+such as Netscape where a number of simultaneous connections are made":
+at each second of the test a constant number of requests is launched at
+once.  Two durations are used — 30 s ("a non-trivial but limited burst")
+and 120 s (the sustained-rate test).  Poisson and ramp generators are
+provided for the examples and extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..sim import RandomStreams
+from .corpus import Corpus
+
+__all__ = [
+    "Arrival",
+    "Workload",
+    "burst_workload",
+    "poisson_workload",
+    "ramp_workload",
+    "uniform_sampler",
+    "zipf_sampler",
+    "hot_file_sampler",
+    "weighted_sampler",
+]
+
+PathSampler = Callable[[], str]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request arrival: when, what, and which client population."""
+
+    time: float
+    path: str
+    client: str = "ucsb"   # key into the scenario's client-profile table
+
+
+@dataclass
+class Workload:
+    """An ordered list of arrivals plus its bookkeeping."""
+
+    name: str
+    arrivals: list[Arrival] = field(default_factory=list)
+    duration: float = 0.0       # nominal generation window, seconds
+
+    def __post_init__(self) -> None:
+        self.arrivals.sort(key=lambda a: a.time)
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def __iter__(self):
+        return iter(self.arrivals)
+
+    @property
+    def offered_rps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return len(self.arrivals) / self.duration
+
+
+# ----------------------------------------------------------------- samplers
+def uniform_sampler(corpus: Corpus, rng: RandomStreams,
+                    stream: str = "sampler") -> PathSampler:
+    """Every document equally popular."""
+    paths = corpus.paths
+    if not paths:
+        raise ValueError("corpus has no documents")
+
+    def sample() -> str:
+        return paths[rng.integers(stream, 0, len(paths))]
+
+    return sample
+
+
+def zipf_sampler(corpus: Corpus, rng: RandomStreams, alpha: float = 1.0,
+                 stream: str = "zipf") -> PathSampler:
+    """Zipf-popular documents (web traffic's classic shape)."""
+    paths = corpus.paths
+    if not paths:
+        raise ValueError("corpus has no documents")
+
+    def sample() -> str:
+        return paths[rng.zipf_index(stream, len(paths), alpha=alpha)]
+
+    return sample
+
+
+def hot_file_sampler(path: str) -> PathSampler:
+    """Everyone asks for the same file (the §4.2 skewed test)."""
+
+    def sample() -> str:
+        return path
+
+    return sample
+
+
+def weighted_sampler(choices: list[tuple[str, float]],
+                     rng: RandomStreams,
+                     stream: str = "weighted") -> PathSampler:
+    """Explicit path popularity (used by the ADL example: thumbnails are
+    requested far more often than full-resolution scans)."""
+    if not choices:
+        raise ValueError("no choices")
+    paths = [p for p, _ in choices]
+    total = sum(w for _, w in choices)
+    if total <= 0:
+        raise ValueError("weights must sum to > 0")
+    probs = [w / total for _, w in choices]
+
+    def sample() -> str:
+        return rng.choice(stream, paths, p=probs)
+
+    return sample
+
+
+# ----------------------------------------------------------------- shapes
+def burst_workload(rps: int, duration: float, sampler: PathSampler,
+                   client: str = "ucsb", start: float = 0.0,
+                   client_mix: Optional[list[tuple[str, float]]] = None,
+                   rng: Optional[RandomStreams] = None) -> Workload:
+    """The paper's generator: ``rps`` simultaneous requests at every
+    second boundary for ``duration`` seconds."""
+    if rps < 1:
+        raise ValueError(f"rps must be >= 1, got {rps}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    arrivals = []
+    for second in range(int(duration)):
+        t = start + float(second)
+        for _ in range(rps):
+            who = client
+            if client_mix is not None:
+                if rng is None:
+                    raise ValueError("client_mix needs an rng")
+                names = [n for n, _ in client_mix]
+                total = sum(w for _, w in client_mix)
+                probs = [w / total for _, w in client_mix]
+                who = rng.choice("client-mix", names, p=probs)
+            arrivals.append(Arrival(time=t, path=sampler(), client=who))
+    return Workload(name=f"burst-{rps}rps-{int(duration)}s",
+                    arrivals=arrivals, duration=float(duration))
+
+
+def poisson_workload(rate: float, duration: float, sampler: PathSampler,
+                     rng: RandomStreams, client: str = "ucsb",
+                     start: float = 0.0) -> Workload:
+    """Memoryless arrivals at ``rate`` requests/second."""
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    arrivals = []
+    t = start
+    while True:
+        t += rng.exponential("poisson", 1.0 / rate)
+        if t >= start + duration:
+            break
+        arrivals.append(Arrival(time=t, path=sampler(), client=client))
+    return Workload(name=f"poisson-{rate:g}rps-{int(duration)}s",
+                    arrivals=arrivals, duration=float(duration))
+
+
+def ramp_workload(rps_from: int, rps_to: int, seconds_per_step: float,
+                  sampler: PathSampler, client: str = "ucsb") -> Workload:
+    """Staircase load: used to find the knee of the throughput curve."""
+    if rps_from < 1 or rps_to < rps_from:
+        raise ValueError(f"bad ramp {rps_from}..{rps_to}")
+    arrivals = []
+    t = 0.0
+    for rps in range(rps_from, rps_to + 1):
+        for second in range(int(seconds_per_step)):
+            for _ in range(rps):
+                arrivals.append(Arrival(time=t + second, path=sampler(),
+                                        client=client))
+        t += seconds_per_step
+    return Workload(name=f"ramp-{rps_from}to{rps_to}", arrivals=arrivals,
+                    duration=t)

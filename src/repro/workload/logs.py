@@ -1,0 +1,135 @@
+"""Common Log Format access logs: write them, parse them, replay them.
+
+NCSA httpd — the code SWEB is built on — invented the Common Log Format
+(CLF).  This module closes the loop with the real world:
+
+* :func:`write_clf` turns a run's request records into an access log,
+  exactly what a 1996 webmaster would have found in ``access_log``;
+* :func:`parse_clf` reads such a log (ours or a real one);
+* :func:`workload_from_clf` replays a parsed log as a simulator
+  :class:`~repro.workload.generators.Workload`, so an actual site trace
+  can drive the reproduced SWEB.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+from typing import Iterable, Optional
+
+from ..web.metrics import RequestRecord
+from .generators import Arrival, Workload
+
+__all__ = ["CLFEntry", "format_clf", "write_clf", "parse_clf",
+           "workload_from_clf"]
+
+_CLF_RE = re.compile(
+    r'^(?P<host>\S+) \S+ \S+ \[(?P<time>[^\]]+)\] '
+    r'"(?P<method>\S+) (?P<path>\S+)(?: (?P<proto>[^"]*))?" '
+    r'(?P<status>\d{3}|-) (?P<bytes>\d+|-)\s*$')
+
+_CLF_TIME = "%d/%b/%Y:%H:%M:%S %z"
+
+#: epoch for converting simulated seconds to log timestamps
+DEFAULT_EPOCH = datetime(1996, 4, 15, 9, 0, 0, tzinfo=timezone.utc)
+
+
+@dataclass(frozen=True)
+class CLFEntry:
+    """One parsed access-log line."""
+
+    host: str
+    time: datetime
+    method: str
+    path: str
+    status: int
+    nbytes: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+def format_clf(entry: CLFEntry) -> str:
+    """Render an entry in Common Log Format."""
+    stamp = entry.time.strftime(_CLF_TIME)
+    return (f'{entry.host} - - [{stamp}] "{entry.method} {entry.path} '
+            f'HTTP/1.0" {entry.status} {entry.nbytes}')
+
+
+def write_clf(records: Iterable[RequestRecord],
+              epoch: datetime = DEFAULT_EPOCH) -> str:
+    """Produce an ``access_log`` for a run's completed request records."""
+    lines = []
+    for rec in sorted(records, key=lambda r: r.start):
+        if rec.end is None:
+            continue
+        status = rec.status if rec.status is not None else 408
+        nbytes = int(rec.size) if rec.ok else 0
+        entry = CLFEntry(
+            host=f"{rec.client}.example.edu".replace("#", "-"),
+            time=epoch + timedelta(seconds=rec.start),
+            method="GET",
+            path=rec.path,
+            status=status,
+            nbytes=nbytes,
+        )
+        lines.append(format_clf(entry))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_clf(text: str, strict: bool = False) -> list[CLFEntry]:
+    """Parse CLF text; malformed lines are skipped (or raise if strict)."""
+    entries = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        match = _CLF_RE.match(line)
+        if match is None:
+            if strict:
+                raise ValueError(f"malformed CLF line {lineno}: {line!r}")
+            continue
+        status_text = match["status"]
+        bytes_text = match["bytes"]
+        try:
+            when = datetime.strptime(match["time"], _CLF_TIME)
+        except ValueError:
+            if strict:
+                raise
+            continue
+        entries.append(CLFEntry(
+            host=match["host"],
+            time=when,
+            method=match["method"],
+            path=match["path"],
+            status=int(status_text) if status_text != "-" else 0,
+            nbytes=int(bytes_text) if bytes_text != "-" else 0,
+        ))
+    return entries
+
+
+def workload_from_clf(entries: list[CLFEntry],
+                      client: str = "ucsb",
+                      epoch: Optional[datetime] = None,
+                      time_scale: float = 1.0) -> Workload:
+    """Replay a parsed access log as a Workload.
+
+    Arrival times are offsets from ``epoch`` (default: the first entry's
+    timestamp), optionally compressed/stretched by ``time_scale`` (< 1
+    replays a day's log in minutes — useful for load testing, which is
+    exactly what the original webmasters could not do).
+    """
+    if time_scale <= 0:
+        raise ValueError(f"time_scale must be > 0, got {time_scale}")
+    if not entries:
+        return Workload(name="clf-empty", arrivals=[], duration=0.0)
+    origin = epoch or min(e.time for e in entries)
+    arrivals = []
+    for entry in entries:
+        offset = (entry.time - origin).total_seconds() * time_scale
+        if offset < 0:
+            continue
+        arrivals.append(Arrival(time=offset, path=entry.path, client=client))
+    duration = max((a.time for a in arrivals), default=0.0) + 1.0
+    return Workload(name="clf-replay", arrivals=arrivals, duration=duration)

@@ -1,0 +1,77 @@
+"""Tests for the sweb-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "T3", "--full"])
+    assert args.command == "run" and args.experiment == "T3" and args.full
+    args = parser.parse_args(["list"])
+    assert args.command == "list"
+    args = parser.parse_args(["serve", "--testbed", "now", "--rps", "4"])
+    assert args.testbed == "now" and args.rps == 4
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "T1" in out and "X3" in out
+
+
+def test_cli_run_fast_experiment(capsys):
+    assert main(["run", "F1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "shape holds: True" in out
+
+
+def test_cli_run_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["run", "T99"])
+
+
+def test_cli_serve_small(capsys):
+    code = main(["serve", "--nodes", "2", "--rps", "2", "--duration", "3",
+                 "--file-size", "10000", "--files", "6"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "response:" in out
+    assert "cpu shares:" in out
+
+
+def test_cli_config_template_roundtrips(capsys):
+    from repro.config import load_config
+    assert main(["config-template"]) == 0
+    out = capsys.readouterr().out
+    config = load_config(out)
+    assert config.spec.num_nodes == 6
+    assert config.params.delta == pytest.approx(0.30)
+
+
+def test_cli_replay(tmp_path, capsys):
+    log = tmp_path / "access_log"
+    log.write_text(
+        'a.ucsb.edu - - [15/Apr/1996:09:00:00 +0000] '
+        '"GET /x.html HTTP/1.0" 200 4096\n'
+        'b.ucsb.edu - - [15/Apr/1996:09:00:01 +0000] '
+        '"GET /y.gif HTTP/1.0" 200 20000\n'
+        'a.ucsb.edu - - [15/Apr/1996:09:00:02 +0000] '
+        '"GET /x.html HTTP/1.0" 200 4096\n')
+    assert main(["replay", str(log), "--time-scale", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed 3 requests" in out
+    assert "completed 3" in out
+
+
+def test_cli_replay_empty_log(tmp_path, capsys):
+    log = tmp_path / "empty_log"
+    log.write_text("not a log\n")
+    assert main(["replay", str(log)]) == 1

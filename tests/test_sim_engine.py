@@ -1,0 +1,377 @@
+"""Unit tests for the discrete-event kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+        yield sim.timeout(1.5)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [2.5, 4.0]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_fifo_order_for_simultaneous_events():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for i in range(5):
+        sim.spawn(proc(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return 42
+
+    def parent(results):
+        value = yield sim.spawn(child())
+        results.append(value)
+
+    results = []
+    sim.spawn(parent(results))
+    sim.run()
+    assert results == [42]
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.spawn(proc())
+    sim.run(until=3.5)
+    assert sim.now == 3.5
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return "done"
+
+    value = sim.run(until=sim.spawn(child()))
+    assert value == "done"
+    assert sim.now == 2.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    woke = []
+
+    def waiter():
+        value = yield ev
+        woke.append((sim.now, value))
+
+    def trigger():
+        yield sim.timeout(3.0)
+        ev.succeed("hello")
+
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert woke == [(3.0, "hello")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_failed_event_throws_into_waiter():
+    sim = Simulator()
+    caught = []
+
+    def waiter(ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    ev = sim.event()
+    sim.spawn(waiter(ev))
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    sim.spawn(trigger())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("explode")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError, match="explode"):
+        sim.run()
+
+
+def test_yield_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_waiting_on_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("早い")
+    log = []
+
+    def late_waiter():
+        yield sim.timeout(5.0)
+        value = yield ev
+        log.append((sim.now, value))
+
+    sim.spawn(late_waiter())
+    sim.run()
+    assert log == [(5.0, "早い")]
+
+
+def test_interrupt_wakes_process_early():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as inter:
+            log.append(("interrupted", sim.now, inter.cause))
+
+    proc = sim.spawn(sleeper())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        proc.interrupt("wake up")
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert log == [("interrupted", 2.0, "wake up")]
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    proc = sim.spawn(sleeper())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        proc.interrupt()
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert log == [3.0]
+
+
+def test_anyof_first_wins():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        t1 = sim.timeout(5.0, value="slow")
+        t2 = sim.timeout(2.0, value="fast")
+        got = yield t1 | t2
+        results.append((sim.now, list(got.values())))
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [(2.0, ["fast"])]
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        t1 = sim.timeout(5.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+        got = yield t1 & t2
+        results.append((sim.now, sorted(got.values())))
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [(5.0, ["a", "b"])]
+
+
+def test_allof_empty_triggers_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+    caught = []
+
+    def proc(ev1, ev2):
+        try:
+            yield AllOf(sim, [ev1, ev2])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    ev1, ev2 = sim.event(), sim.event()
+    sim.spawn(proc(ev1, ev2))
+
+    def failer():
+        yield sim.timeout(1.0)
+        ev1.fail(RuntimeError("part failed"))
+
+    sim.spawn(failer())
+    sim.run()
+    assert caught == ["part failed"]
+
+
+def test_event_count_is_deterministic():
+    def build():
+        sim = Simulator()
+
+        def proc(i):
+            yield sim.timeout(i * 0.5)
+            yield sim.timeout(1.0)
+
+        for i in range(10):
+            sim.spawn(proc(i))
+        sim.run()
+        return sim.event_count, sim.now
+
+    assert build() == build()
+
+
+def test_spawn_rejects_non_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)
+
+
+def test_step_on_empty_queue_is_error():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == pytest.approx(0.0) or sim.peek() <= 4.0
+
+
+def test_nested_processes_three_deep():
+    sim = Simulator()
+
+    def leaf():
+        yield sim.timeout(1.0)
+        return 1
+
+    def middle():
+        v = yield sim.spawn(leaf())
+        yield sim.timeout(1.0)
+        return v + 1
+
+    def root(out):
+        v = yield sim.spawn(middle())
+        out.append((sim.now, v))
+
+    out = []
+    sim.spawn(root(out))
+    sim.run()
+    assert out == [(2.0, 2)]

@@ -1,0 +1,167 @@
+"""Extra kernel edge-case tests (conditions, interrupts, determinism)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_nested_conditions():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+        c = sim.timeout(9.0, value="c")
+        got = yield (a & b) | c
+        out.append((sim.now, sorted(v for v in got.values()
+                                    if isinstance(v, str))))
+
+    sim.spawn(proc())
+    sim.run()
+    # (a & b) completes at t=2, long before c.
+    assert out[0][0] == pytest.approx(2.0)
+
+
+def test_condition_over_already_failed_event_defused():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        bad = sim.event()
+        bad.fail(RuntimeError("pre-failed"))
+        bad.defuse()
+        # wait for the failure to be processed
+        yield sim.timeout(0.1)
+        try:
+            yield AnyOf(sim, [bad, sim.timeout(1.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(proc())
+    sim.run()
+    assert caught == ["pre-failed"]
+
+
+def test_interrupt_during_condition_wait():
+    sim = Simulator()
+    out = []
+
+    def sleeper():
+        try:
+            yield AllOf(sim, [sim.timeout(50.0), sim.timeout(60.0)])
+        except Interrupt as inter:
+            out.append((sim.now, inter.cause))
+
+    proc = sim.spawn(sleeper())
+
+    def poker():
+        yield sim.timeout(1.0)
+        proc.interrupt("now")
+
+    sim.spawn(poker())
+    sim.run()
+    assert out == [(1.0, "now")]
+
+
+def test_double_interrupt_is_safe():
+    sim = Simulator()
+    hits = []
+
+    def sleeper():
+        for _ in range(2):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                hits.append(sim.now)
+
+    proc = sim.spawn(sleeper())
+
+    def poker():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.spawn(poker())
+    sim.run()
+    assert hits == [1.0, 2.0]
+
+
+def test_process_is_alive_and_target():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(5.0)
+
+    proc = sim.spawn(child())
+    assert proc.is_alive
+    sim.run(until=1.0)
+    assert proc.is_alive
+    assert proc.target is not None
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_event_or_and_require_same_sim():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        AllOf(sim1, [sim1.timeout(1.0), sim2.timeout(1.0)])
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event().fail("not an exception")
+
+
+def test_defused_failure_does_not_crash_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("ignored"))
+    ev.defuse()
+    sim.run()   # must not raise
+
+
+def test_value_of_failed_event_is_the_exception():
+    sim = Simulator()
+    ev = sim.event()
+    exc = RuntimeError("boom")
+    ev.fail(exc)
+    ev.defuse()
+    sim.run()
+    assert ev.value is exc
+    assert not ev.ok
+
+
+def test_event_count_monotone_across_runs():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.run(until=2.0)
+    first = sim.event_count
+    sim.timeout(1.0)
+    sim.run()
+    assert sim.event_count > first
+
+
+def test_process_return_inside_try_finally():
+    sim = Simulator()
+    cleaned = []
+
+    def proc():
+        try:
+            yield sim.timeout(1.0)
+            return "done"
+        finally:
+            cleaned.append(sim.now)
+
+    value = sim.run(until=sim.spawn(proc()))
+    assert value == "done"
+    assert cleaned == [1.0]

@@ -1,0 +1,209 @@
+"""Unit tests for repro.sim.resources (Resource, Store, Container)."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store, Container
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered and not r3.triggered
+    assert res.count == 2 and res.available == 0
+
+
+def test_resource_fifo_queueing():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(tag, hold):
+        with res.request() as req:
+            yield req
+            order.append(("got", tag, sim.now))
+            yield sim.timeout(hold)
+
+    sim.spawn(user("a", 2.0))
+    sim.spawn(user("b", 1.0))
+    sim.spawn(user("c", 1.0))
+    sim.run()
+    assert order == [("got", "a", 0.0), ("got", "b", 2.0), ("got", "c", 3.0)]
+
+
+def test_resource_release_grants_waiter():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert not r2.triggered
+    res.release(r1)
+    assert r2.triggered
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    r2.cancel()
+    res.release(r1)
+    assert r3.triggered and not r2.triggered
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_double_release_is_error():
+    from repro.sim import SimulationError
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r = res.request()
+    res.release(r)
+    with pytest.raises(SimulationError):
+        res.release(r)
+
+
+# ------------------------------------------------------------------- Store
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert [item for _, item in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(5.0)
+        yield store.put("x")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(5.0, "x")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer():
+        yield store.put("a")
+        events.append(("put-a", sim.now))
+        yield store.put("b")
+        events.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(3.0)
+        item = yield store.get()
+        events.append(("got", item, sim.now))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert ("put-a", 0.0) in events
+    assert ("put-b", 3.0) in events
+
+
+def test_store_try_put_respects_capacity():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)
+    assert len(store) == 2
+
+
+def test_store_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+# --------------------------------------------------------------- Container
+def test_container_levels():
+    sim = Simulator()
+    box = Container(sim, capacity=10.0, init=5.0)
+    box.put(3.0)
+    assert box.level == pytest.approx(8.0)
+    box.get(6.0)
+    assert box.level == pytest.approx(2.0)
+
+
+def test_container_get_blocks_until_available():
+    sim = Simulator()
+    box = Container(sim, capacity=10.0)
+    log = []
+
+    def taker():
+        yield box.get(4.0)
+        log.append(sim.now)
+
+    def filler():
+        yield sim.timeout(2.0)
+        yield box.put(4.0)
+
+    sim.spawn(taker())
+    sim.spawn(filler())
+    sim.run()
+    assert log == [2.0]
+
+
+def test_container_put_blocks_when_full():
+    sim = Simulator()
+    box = Container(sim, capacity=5.0, init=5.0)
+    log = []
+
+    def putter():
+        yield box.put(2.0)
+        log.append(sim.now)
+
+    def drainer():
+        yield sim.timeout(3.0)
+        yield box.get(2.0)
+
+    sim.spawn(putter())
+    sim.spawn(drainer())
+    sim.run()
+    assert log == [3.0]
+
+
+def test_container_rejects_bad_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=1.0, init=2.0)
+    box = Container(sim, capacity=1.0)
+    with pytest.raises(ValueError):
+        box.put(-1.0)
+    with pytest.raises(ValueError):
+        box.get(-1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for DNS rotation and the CGI registry."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.web import CGIProgram, CGIRegistry, RoundRobinDNS
+
+
+# ---------------------------------------------------------------------- DNS
+def test_round_robin_rotation():
+    dns = RoundRobinDNS(Simulator(), [0, 1, 2])
+    assert [dns.resolve() for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_register_deregister():
+    dns = RoundRobinDNS(Simulator(), [0, 1])
+    dns.register(2)
+    assert 2 in dns.addresses
+    dns.register(2)  # idempotent
+    assert dns.addresses.count(2) == 1
+    dns.deregister(0)
+    assert set(dns.resolve() for _ in range(4)) == {1, 2}
+    dns.deregister(0)  # idempotent
+
+
+def test_empty_zone_raises():
+    dns = RoundRobinDNS(Simulator(), [0])
+    dns.deregister(0)
+    with pytest.raises(LookupError):
+        dns.resolve()
+
+
+def test_ttl_caching_pins_a_domain():
+    sim = Simulator()
+    dns = RoundRobinDNS(sim, [0, 1, 2], ttl=10.0)
+    first = dns.resolve("rutgers.edu")
+    # All queries from the same domain within the TTL hit the cache.
+    assert all(dns.resolve("rutgers.edu") == first for _ in range(5))
+    assert dns.cache_hits == 5
+    # A different domain gets the next rotation slot.
+    other = dns.resolve("mit.edu")
+    assert other != first
+
+
+def test_ttl_expiry_rotates_again():
+    sim = Simulator()
+    dns = RoundRobinDNS(sim, [0, 1], ttl=5.0)
+    first = dns.resolve("d")
+
+    def advance():
+        yield sim.timeout(6.0)
+
+    sim.spawn(advance())
+    sim.run()
+    second = dns.resolve("d")
+    assert second != first
+
+
+def test_no_ttl_means_pure_rotation_per_query():
+    dns = RoundRobinDNS(Simulator(), [0, 1], ttl=0.0)
+    assert dns.resolve("d") != dns.resolve("d")
+    assert dns.cache_hit_rate == 0.0
+
+
+def test_dns_validation():
+    with pytest.raises(ValueError):
+        RoundRobinDNS(Simulator(), [])
+    with pytest.raises(ValueError):
+        RoundRobinDNS(Simulator(), [0], ttl=-1.0)
+
+
+# ---------------------------------------------------------------------- CGI
+def test_cgi_prefix_detection():
+    reg = CGIRegistry()
+    assert reg.is_cgi("/cgi-bin/query")
+    assert not reg.is_cgi("/docs/query.html")
+
+
+def test_cgi_register_and_lookup():
+    reg = CGIRegistry()
+    reg.add("/cgi-bin/spatial", cpu_ops=5e6, output_bytes=1e4)
+    prog = reg.lookup("/cgi-bin/spatial")
+    assert prog.cpu_ops == 5e6
+    assert "/cgi-bin/spatial" in reg
+    assert len(reg) == 1
+
+
+def test_cgi_unregistered_gets_default_profile():
+    reg = CGIRegistry(default_ops=123.0, default_output=456.0)
+    prog = reg.lookup("/cgi-bin/unknown")
+    assert prog.cpu_ops == 123.0
+    assert prog.output_bytes == 456.0
+
+
+def test_cgi_lookup_non_cgi_raises():
+    reg = CGIRegistry()
+    with pytest.raises(KeyError):
+        reg.lookup("/docs/a.html")
+
+
+def test_cgi_register_outside_prefix_rejected():
+    reg = CGIRegistry()
+    with pytest.raises(ValueError):
+        reg.register(CGIProgram(path="/docs/a", cpu_ops=1.0, output_bytes=1.0))
+
+
+def test_cgi_program_validation():
+    with pytest.raises(ValueError):
+        CGIProgram(path="/cgi-bin/x", cpu_ops=-1.0, output_bytes=1.0)
+    with pytest.raises(ValueError):
+        CGIProgram(path="/cgi-bin/x", cpu_ops=1.0, output_bytes=-1.0)
