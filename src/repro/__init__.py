@@ -14,6 +14,8 @@ Layers (bottom-up):
   multi-faceted cost model, the scheduling policies, the §3.3 analysis,
   and the :class:`SWEBCluster` facade;
 * :mod:`repro.workload` — corpora and request generators;
+* :mod:`repro.faults` — declarative fault plans (crashes, partitions,
+  slow disks, loadd blackouts) injectable into any run;
 * :mod:`repro.experiments` — one module per table/figure of the paper.
 
 Quickstart::
@@ -22,8 +24,7 @@ Quickstart::
 
     cluster = SWEBCluster(meiko_cs2(), policy="sweb", seed=1)
     cluster.add_file("/index.html", 1024, home=0)
-    cluster.fetch("/index.html")
-    cluster.run()
+    cluster.run(until=cluster.fetch("/index.html"))
     print(cluster.metrics.response_summary())
 """
 
@@ -36,6 +37,7 @@ from .cluster import (
     sun_now,
 )
 from .config import SWEBConfig, dump_config, load_config
+from .faults import FaultInjector, FaultPlan
 from .core import (
     AdaptiveOracle,
     AnalysisInputs,
@@ -62,6 +64,8 @@ __all__ = [
     "ClientProfile",
     "ClusterSpec",
     "CostParameters",
+    "FaultInjector",
+    "FaultPlan",
     "HTTPRequest",
     "HTTPResponse",
     "Metrics",

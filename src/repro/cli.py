@@ -26,7 +26,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible artifacts")
 
     run = sub.add_parser("run", help="regenerate one table/figure")
-    run.add_argument("experiment", help="id, e.g. T1..T5, F1..F3, S1..S3, X1..X3")
+    run.add_argument("experiment", help="id, e.g. T1..T5, F1..F3, S1..S3, X1..X9")
     run.add_argument("--full", action="store_true",
                      help="paper-scale durations (slower)")
 
@@ -42,6 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--file-size", type=float, default=1.5e6)
     serve.add_argument("--files", type=int, default=120)
     serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--faults", metavar="SPEC",
+                       help="fault plan, e.g. 'crash:n2@30,partition:10-20' "
+                            "(see docs/FAULTS.md for the grammar)")
+    serve.add_argument("--graceful", action="store_true",
+                       help="enable graceful degradation (client retries, "
+                            "stale-load fallback, suspicion filtering)")
 
     replay = sub.add_parser(
         "replay", help="replay a Common Log Format access log")
@@ -102,17 +108,30 @@ def _cmd_all(full: bool) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .cluster import meiko_cs2, sun_now
+    from .core.costmodel import CostParameters
     from .experiments.runner import Scenario, run_scenario
+    from .faults import FaultPlan, FaultSpecError
     from .sim import RandomStreams
     from .workload import burst_workload, uniform_corpus, uniform_sampler
 
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.parse(args.faults)
+            plan.validate(args.nodes)
+        except FaultSpecError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
     spec = (meiko_cs2 if args.testbed == "meiko" else sun_now)(args.nodes)
     corpus = uniform_corpus(args.files, args.file_size, args.nodes)
     sampler = uniform_sampler(corpus, RandomStreams(seed=42))
     workload = burst_workload(args.rps, args.duration, sampler)
     scenario = Scenario(name="cli", spec=spec, corpus=corpus,
                         workload=workload, policy=args.policy,
-                        seed=args.seed)
+                        seed=args.seed,
+                        params=CostParameters(
+                            graceful_degradation=args.graceful),
+                        faults=plan)
     result = run_scenario(scenario)
     print(result.summary_line())
     summary = result.response_summary
@@ -123,6 +142,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"remote reads: {result.remote_read_fraction():.1%}")
     print("cpu shares: " + ", ".join(
         f"{k} {v:.2%}" for k, v in sorted(result.cpu_shares().items())))
+    if result.injector is not None:
+        mode = "graceful" if args.graceful else "paper-faithful"
+        print(f"\nfault injection ({mode} mode):")
+        print(result.injector.report())
+        print(f"degradation: fallbacks {result.fallback_count}, "
+              f"retries {result.retry_count}, "
+              f"connections reset {result.reset_count}")
     return 0
 
 

@@ -50,6 +50,10 @@ class Disk:
         self.server = FairShareServer(sim, rate=bandwidth, name=f"{name}.channel")
         self.bytes_read = 0.0
         self.reads = 0
+        #: > 1 while the drive is degraded (fault injection); the nominal
+        #: ``bandwidth`` is what loadd keeps advertising — a sick disk
+        #: does not know it is sick, so brokers misprice it
+        self.degrade_factor = 1.0
 
     # -- I/O -------------------------------------------------------------
     def read(self, nbytes: float, tag: Any = None) -> Event:
@@ -77,6 +81,26 @@ class Disk:
                 f"{self.name}: allocating {nbytes:.0f} B exceeds capacity "
                 f"({self.used_bytes:.0f}/{self.capacity:.0f} B used)")
         self.used_bytes += nbytes
+
+    # -- fault injection -----------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Slow the channel to ``bandwidth / factor`` (a failing drive,
+        a RAID rebuild, bad-sector retries).  In-flight reads slow down
+        immediately; the advertised ``bandwidth`` is unchanged."""
+        if factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1, got {factor}")
+        self.degrade_factor = float(factor)
+        self.server.set_rate(self.bandwidth / self.degrade_factor)
+
+    def restore(self) -> None:
+        """End a degradation: the channel serves at nominal rate again."""
+        self.degrade_factor = 1.0
+        self.server.set_rate(self.bandwidth)
+
+    @property
+    def current_bandwidth(self) -> float:
+        """The channel's actual total rate (nominal unless degraded)."""
+        return self.server.rate
 
     # -- load metrics (read by loadd) --------------------------------------
     @property

@@ -73,10 +73,24 @@ class Link:
 
 
 class ClusterNetwork:
-    """Interface for the intra-cluster interconnect."""
+    """Interface for the intra-cluster interconnect.
+
+    Partition support (the fault-injection subsystem, docs/FAULTS.md)
+    lives here so every fabric inherits it: :meth:`partition` splits the
+    nodes into disjoint groups, after which cross-group transfers are
+    *lost* — their completion events simply never fire, exactly like
+    packets into a dead switch.  loadd broadcasts stop crossing the cut
+    (peers stale each other out) and cross-partition NFS reads hang
+    until the client's timeout.  :meth:`heal` restores full reachability
+    for transfers started afterwards; in-flight lost transfers stay lost.
+    """
 
     #: advertised peak bandwidth of a single path, bytes/s (``b_net``)
     bandwidth: float
+    #: node id -> partition group id; None = fully connected
+    _node_group: Optional[dict[int, int]] = None
+    #: transfers dropped at a partition cut (diagnostic counter)
+    transfers_lost: int = 0
 
     def transfer(self, src: int, dst: int, nbytes: float, tag: Any = None) -> Event:
         """Move ``nbytes`` from node ``src`` to node ``dst``."""
@@ -89,6 +103,43 @@ class ClusterNetwork:
     def effective_bandwidth(self, node: int) -> float:
         """Per-stream bandwidth a new transfer at ``node`` would see."""
         raise NotImplementedError
+
+    # -- partitions (fault injection) ---------------------------------------
+    def partition(self, groups) -> None:
+        """Split the fabric into disjoint ``groups`` of node ids.
+
+        Nodes not named in any group share an implicit extra group (they
+        can still reach each other, but none of the named groups).
+        """
+        mapping: dict[int, int] = {}
+        for gid, members in enumerate(groups):
+            for node in members:
+                node = int(node)
+                if node in mapping:
+                    raise ValueError(
+                        f"node {node} appears in more than one group")
+                mapping[node] = gid
+        self._node_group = mapping
+
+    def heal(self) -> None:
+        """Remove any partition (future transfers flow everywhere again)."""
+        self._node_group = None
+
+    @property
+    def partitioned(self) -> bool:
+        """True while a partition is in force."""
+        return self._node_group is not None
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Whether a transfer from ``src`` to ``dst`` can cross the fabric."""
+        if self._node_group is None:
+            return True
+        return self._node_group.get(src) == self._node_group.get(dst)
+
+    def _lost(self, src: int, dst: int, sim: "Simulator") -> Event:
+        """A transfer into the cut: count it, return a never-firing event."""
+        self.transfers_lost += 1
+        return Event(sim)
 
 
 class FatTreeNetwork(ClusterNetwork):
@@ -119,11 +170,14 @@ class FatTreeNetwork(ClusterNetwork):
             raise ValueError(f"bad endpoints {src}->{dst} (nodes={self.nodes})")
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        done = Event(self.sim)
         if src == dst:
             # Loopback never touches the fabric.
+            done = Event(self.sim)
             done.succeed(nbytes)
             return done
+        if not self.reachable(src, dst):
+            return self._lost(src, dst, self.sim)
+        done = Event(self.sim)
         self.bytes_sent += nbytes
 
         def pump():
@@ -167,10 +221,13 @@ class SharedBusNetwork(ClusterNetwork):
     def transfer(self, src: int, dst: int, nbytes: float, tag: Any = None) -> Event:
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        done = Event(self.sim)
         if src == dst:
+            done = Event(self.sim)
             done.succeed(nbytes)
             return done
+        if not self.reachable(src, dst):
+            return self._lost(src, dst, self.sim)
+        done = Event(self.sim)
         self.bytes_sent += nbytes
 
         def pump():

@@ -64,6 +64,9 @@ class Node:
         self.nic = nic_server or FairShareServer(
             sim, rate=nic_bandwidth, name=f"{self.name}.nic")
         self.alive = True
+        #: True after crash(): unlike a graceful leave(), a crash also
+        #: resets in-flight connections (see HTTPServer.reset_connections)
+        self.crashed = False
         #: operations charged per category (parsing, scheduling, loadd, ...)
         self.cpu_ops_by_category: dict[str, float] = {}
 
@@ -100,6 +103,24 @@ class Node:
     def join(self) -> None:
         """Rejoin the resource pool."""
         self.alive = True
+        self.crashed = False
+
+    def crash(self) -> None:
+        """Die abruptly: refuse new connections AND abandon in-flight work.
+
+        A graceful :meth:`leave` drains; a crash does not — the httpd
+        layer resets live connections so clients see the failure quickly
+        (modelled as an immediate 503/connection-reset, not a silent
+        120 s timeout).
+        """
+        self.alive = False
+        self.crashed = True
+
+    def restart(self) -> None:
+        """Come back after a crash (cold: the page cache survives only
+        because the model keeps no dirty state; membership-wise this is
+        identical to join())."""
+        self.join()
 
     def __repr__(self) -> str:
         return (f"<Node {self.name!r} cpu={self.cpu_speed / 1e6:.0f}Mops "

@@ -66,6 +66,9 @@ class Broker:
         self.local_probe = local_probe
         self.decisions = 0
         self.redirections = 0
+        #: times the graceful-degradation fallback served locally because
+        #: peer load information was too stale to trust
+        self.fallbacks = 0
 
     def choose_server(self, path: str, client_latency: float) -> BrokerDecision:
         """Run step 2 of §3.2: analyse the request, price every candidate,
@@ -73,9 +76,33 @@ class Broker:
 
         Ties prefer the local node (no redirection cost is ever worth
         paying for an equal estimate), then the lowest node id.
+
+        With ``graceful_degradation`` on, two safety rails wrap the
+        argmin: when even the freshest peer report is older than
+        ``fallback_staleness`` the broker serves locally (DNS rotation
+        already spread arrivals, so this degrades to round-robin rather
+        than trusting a fictional cost model), and individual peers
+        silent past ``suspicion_timeout`` are excluded as redirect
+        targets before the staleness timeout declares them dead.
         """
         now = self.sim.now
         self.decisions += 1
+        params = self.cost_model.params
+        if params.graceful_degradation:
+            peer_age = self.view.freshest_peer_age(now)
+            if peer_age is None or peer_age > params.fallback_staleness:
+                self.fallbacks += 1
+                if self.trace is not None:
+                    self.trace.emit(now, "sched", f"broker-{self.node_id}",
+                                    "stale_fallback", path=path,
+                                    peer_age=(round(peer_age, 3)
+                                              if peer_age is not None
+                                              else None))
+                file_size = (self.fs.locate(path).size
+                             if self.fs.exists(path) else 0.0)
+                return BrokerDecision(
+                    chosen=self.node_id, local=self.node_id, estimates=(),
+                    task=self.oracle.characterize(path, file_size))
         # (a) Where does the file live?
         file_home: Optional[int] = None
         file_size = 0.0
@@ -87,6 +114,11 @@ class Broker:
         # (c) Price every available candidate.  The local node is priced
         # from an instantaneous probe when one is wired in.
         candidates = self.view.available(now)
+        if params.graceful_degradation:
+            # Drop suspects: a silent-but-not-yet-stale peer may be dead,
+            # and redirecting a client into a dead node costs a drop.
+            candidates = [c for c in candidates
+                          if not self.view.suspected(c.node, now)]
         if self.local_probe is not None:
             fresh = self.local_probe()
             candidates = [fresh if c.node == self.node_id else c

@@ -73,6 +73,30 @@ class CostParameters:
     loadd_ops: float = 2.0e5         # CPU per broadcast (5 ms; §4.3 charges
                                      # ~0.2 % of the CPU to load monitoring)
     staleness_timeout: float = 8.0   # unavailable after ~3 missed periods
+    # --- graceful degradation (the fault-tolerance layer; docs/FAULTS.md) ---
+    # Master switch.  Off by default: the paper's SWEB neither retried
+    # refused connections nor second-guessed its own cost model, and the
+    # reproduction's baseline behaviour must stay paper-faithful.  The
+    # faults experiment (X9) and `sweb-repro serve --graceful` turn it on.
+    graceful_degradation: bool = False
+    # Peer load info older than this means scheduling data is effectively
+    # gone (loadd silent / partitioned): the broker stops trusting the
+    # cost model and falls back to serving locally, which — because DNS
+    # already rotates arrivals — degrades to round-robin.  Between one
+    # missed broadcast (2.5 s) and the staleness timeout (8 s).
+    fallback_staleness: float = 6.0
+    # A peer silent this long is *suspected*: still priced as a candidate
+    # hop target by un-degraded SWEB, but a graceful broker stops
+    # redirecting to it before the full staleness timeout declares it
+    # dead.  One missed broadcast plus slack.
+    suspicion_timeout: float = 4.0
+    # Bounded client retry: a refused or reset connection is retried at a
+    # freshly-resolved node at most this many times (0 disables even when
+    # graceful_degradation is on).  The at-most-once redirect rule is
+    # preserved: a retried request never follows a second 302.
+    client_retries: int = 2
+    # First retry backoff in seconds; doubles per attempt (0.2, 0.4, ...).
+    retry_backoff: float = 0.2
     # --- ablation knockouts (all on for real SWEB) ---
     use_data_term: bool = True
     use_cpu_term: bool = True
@@ -92,6 +116,16 @@ class CostParameters:
             raise ValueError(
                 f"reassignment must be 'redirect' or 'forward', "
                 f"got {self.reassignment!r}")
+        if self.fallback_staleness <= 0:
+            raise ValueError(
+                f"fallback_staleness must be > 0: {self.fallback_staleness}")
+        if self.suspicion_timeout <= 0:
+            raise ValueError(
+                f"suspicion_timeout must be > 0: {self.suspicion_timeout}")
+        if self.client_retries < 0:
+            raise ValueError(f"negative client_retries: {self.client_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(f"negative retry_backoff: {self.retry_backoff}")
 
 
 @dataclass(frozen=True)

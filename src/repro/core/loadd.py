@@ -15,6 +15,7 @@ bytes that show up in the §4.3 overhead measurements.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from ..cluster.network import ClusterNetwork
@@ -43,6 +44,13 @@ class LoadDaemon:
         self.broadcasts = 0
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        #: fault hook — heartbeat loss: the node keeps serving but its
+        #: daemon stops broadcasting, so peers stale it out (docs/FAULTS.md)
+        self.muted = False
+        #: fault hook — load-report corruption: outgoing broadcasts carry
+        #: cpu_load scaled by this factor (0.0 advertises an idle node and
+        #: attracts the herd); the daemon's *own* view keeps the truth
+        self.corrupt_factor: Optional[float] = None
         self._prev_cpu_integral = node.cpu.population_integral()
         self._prev_time = sim.now
         self._proc = None
@@ -117,8 +125,9 @@ class LoadDaemon:
         yield self.sim.timeout(0.01 * self.node.id)
         while True:
             yield self.sim.timeout(self.params.loadd_period)
-            if not self.node.alive:
-                # A departed node is silent; peers stale it out.
+            if not self.node.alive or self.muted:
+                # A departed (or heartbeat-lost) node is silent; peers
+                # stale it out.
                 continue
             snap = self.sample()
             self.view.update(snap)
@@ -127,7 +136,16 @@ class LoadDaemon:
             yield self.node.compute(self.params.loadd_ops, category="loadd")
             self._ship(snap)
 
+    def availability(self) -> dict[int, str]:
+        """This daemon's current three-tier availability view
+        ("available" | "suspect" | "unavailable" per known node)."""
+        return self.view.availability(self.sim.now)
+
     def _ship(self, snap: LoadSnapshot) -> None:
+        if self.corrupt_factor is not None:
+            # Corruption happens on the wire: peers receive the doctored
+            # report while this node's own view keeps the true sample.
+            snap = replace(snap, cpu_load=snap.cpu_load * self.corrupt_factor)
         self.broadcasts += 1
         if self.trace is not None:
             self.trace.emit(self.sim.now, "loadd", f"loadd-{self.node.id}",

@@ -37,13 +37,26 @@ class ClusterView:
     ``staleness_timeout`` implements loadd's availability rule: a
     processor "which ha[s] not responded in a preset period of time" is
     marked unavailable (§3.1).
+
+    ``suspicion_timeout`` adds an earlier tier for graceful degradation:
+    a peer silent longer than this is *suspected* — still a priced
+    candidate for un-degraded SWEB, but a graceful broker stops
+    redirecting to it before the staleness timeout declares it dead.
+    ``None`` collapses suspicion into staleness (one-tier behaviour).
     """
 
-    def __init__(self, owner: int, staleness_timeout: float = 8.0) -> None:
+    def __init__(self, owner: int, staleness_timeout: float = 8.0,
+                 suspicion_timeout: Optional[float] = None) -> None:
         if staleness_timeout <= 0:
             raise ValueError(f"staleness_timeout must be > 0, got {staleness_timeout}")
+        if suspicion_timeout is not None and suspicion_timeout <= 0:
+            raise ValueError(
+                f"suspicion_timeout must be > 0, got {suspicion_timeout}")
         self.owner = owner
         self.staleness_timeout = float(staleness_timeout)
+        self.suspicion_timeout = (float(suspicion_timeout)
+                                  if suspicion_timeout is not None
+                                  else float(staleness_timeout))
         self._snapshots: dict[int, LoadSnapshot] = {}
 
     # -- updates --------------------------------------------------------------
@@ -87,6 +100,59 @@ class ClusterView:
             snap = self.get(node, now)
             if snap is not None:
                 out.append(snap)
+        return out
+
+    def age(self, node: int, now: float) -> Optional[float]:
+        """Seconds since ``node`` last reported, or None if never heard."""
+        snap = self._snapshots.get(node)
+        if snap is None:
+            return None
+        return snap.aged(now)
+
+    def suspected(self, node: int, now: float) -> bool:
+        """True when ``node`` has been silent past the suspicion timeout.
+
+        The owner is never suspect (its own /proc is always current).
+        Unknown nodes and fully-stale nodes also report True: anything
+        not provably fresh is unsafe to redirect to under degradation.
+        """
+        if node == self.owner:
+            return False
+        aged = self.age(node, now)
+        return aged is None or aged > self.suspicion_timeout
+
+    def freshest_peer_age(self, now: float) -> Optional[float]:
+        """Age of the most recent *peer* report, or None with no peers.
+
+        This is the broker's degradation signal: when even the freshest
+        peer report is old, the scheduling picture as a whole is gone
+        (loadd silenced, partitioned, or every peer dead) and cost-model
+        decisions are built on fiction.
+        """
+        ages = [snap.aged(now) for node, snap in self._snapshots.items()
+                if node != self.owner]
+        return min(ages) if ages else None
+
+    def availability(self, now: float) -> dict[int, str]:
+        """Three-tier availability: "available" | "suspect" | "unavailable".
+
+        The tiers are loadd's availability rule (§3.1) refined by the
+        suspicion timeout: fresh within ``suspicion_timeout`` →
+        available, within ``staleness_timeout`` → suspect, older →
+        unavailable.
+        """
+        out: dict[int, str] = {}
+        for node in sorted(self._snapshots):
+            if node == self.owner:
+                out[node] = "available"
+                continue
+            aged = self._snapshots[node].aged(now)
+            if aged > self.staleness_timeout:
+                out[node] = "unavailable"
+            elif aged > self.suspicion_timeout:
+                out[node] = "suspect"
+            else:
+                out[node] = "available"
         return out
 
     def known_nodes(self) -> list[int]:

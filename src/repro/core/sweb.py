@@ -9,10 +9,11 @@ and the metrics plumbing.  This is the main entry point of the library::
 
     cluster = SWEBCluster(meiko_cs2(), policy="sweb", seed=1)
     cluster.add_file("/maps/sb.tif", 1.5e6, home=0)
-    client = cluster.client()
-    client.fetch("/maps/sb.tif")
-    cluster.run()
+    cluster.run(until=cluster.fetch("/maps/sb.tif"))
     print(cluster.metrics.response_summary())
+
+Always bound :meth:`run` (by an event, process or time): the loadd
+daemons broadcast forever, so an unbounded run never quiesces.
 """
 
 from __future__ import annotations
@@ -94,7 +95,8 @@ class SWEBCluster:
         # Per-node distributed state: view, broker, httpd, loadd.
         self.views: dict[int, ClusterView] = {
             n.id: ClusterView(owner=n.id,
-                              staleness_timeout=self.params.staleness_timeout)
+                              staleness_timeout=self.params.staleness_timeout,
+                              suspicion_timeout=self.params.suspicion_timeout)
             for n in self.nodes}
         self.loadds: dict[int, LoadDaemon] = {
             n.id: LoadDaemon(self.sim, n, self.views[n.id], self.views,
@@ -149,7 +151,10 @@ class SWEBCluster:
 
     # -- execution ------------------------------------------------------------
     def run(self, until=None):
-        """Advance the simulation (to quiescence by default)."""
+        """Advance the simulation to ``until`` (an event, process or
+        time).  Pass one whenever loadd is running: the periodic
+        broadcasts keep the event queue non-empty forever, so an
+        unbounded run only quiesces with ``start_loadd=False``."""
         return self.sim.run(until=until)
 
     # -- membership churn --------------------------------------------------------
@@ -167,6 +172,40 @@ class SWEBCluster:
         self.loadds[node_id].broadcast_now()
         if update_dns:
             self.dns.register(node_id)
+
+    def node_crash(self, node_id: int) -> None:
+        """Abrupt failure: unlike :meth:`node_leave`, in-flight connections
+        are reset (clients see an immediate failure, not a 120 s silence)
+        and loadd falls silent so peers stale the node out.  DNS keeps
+        rotating to it — a crash never files a zone update."""
+        self.nodes[node_id].crash()
+        self.servers[node_id].reset_connections()
+
+    def node_restart(self, node_id: int) -> None:
+        """Recover from a crash: the node rejoins and its loadd
+        immediately re-announces so peers un-stale it without waiting a
+        full broadcast period."""
+        self.nodes[node_id].restart()
+        self.loadds[node_id].broadcast_now()
+
+    # -- fault injection --------------------------------------------------------
+    def attach_faults(self, plan) -> "FaultInjector":
+        """Attach and start a :class:`~repro.faults.plan.FaultPlan` (or a
+        CLI spec string for one); returns the running injector."""
+        from ..faults import FaultInjector, FaultPlan
+
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        return FaultInjector(self, plan).start()
+
+    def availability(self, node_id: int = 0) -> dict[int, str]:
+        """Node ``node_id``'s three-tier availability view of the cluster
+        ("available" | "suspect" | "unavailable"; see ClusterView)."""
+        return self.loadds[node_id].availability()
+
+    def total_fallbacks(self) -> int:
+        """Stale-load round-robin fallbacks across all brokers."""
+        return sum(b.fallbacks for b in self.brokers.values())
 
     # -- accounting (§4.3) ---------------------------------------------------------
     def cpu_seconds_by_category(self) -> dict[str, float]:

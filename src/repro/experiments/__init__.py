@@ -19,6 +19,12 @@ S3    §4.3 server-side overhead                      overhead
 X1    ablation — cost-model terms                    ablation_cost_terms
 X2    ablation — loadd period and Δ                  ablation_loadd
 X3    extension — membership churn                   churn
+X4    extension — forwarding vs redirection          forwarding
+X5    extension — adaptive oracle                    adaptive
+X6    extension — disk striping                      striping
+X7    extension — centralized dispatcher             centralized
+X8    extension — burst/queue dynamics               dynamics
+X9    extension — faults & graceful degradation      faults
 ====  =============================================  =================
 """
 
@@ -30,6 +36,7 @@ from . import (
     centralized,
     churn,
     dynamics,
+    faults,
     figure1,
     figure2,
     figure3,
@@ -69,6 +76,7 @@ ALL_EXPERIMENTS = {
     "X6": striping,
     "X7": centralized,
     "X8": dynamics,
+    "X9": faults,
 }
 
 

@@ -15,6 +15,7 @@ from ..cluster.topology import ClusterSpec
 from ..core.costmodel import CostParameters
 from ..core.policies import SchedulingPolicy
 from ..core.sweb import SWEBCluster
+from ..faults import FaultPlan
 from ..sim import AllOf, Summary, Trace
 from ..web.client import Client, ClientProfile, RUTGERS_CLIENT, UCSB_CLIENT
 from ..web.metrics import Metrics
@@ -53,6 +54,9 @@ class Scenario:
     #: design §3.1 rejected); None = distributed (DNS rotation)
     dispatcher: Optional[int] = None
     params: Optional[CostParameters] = None
+    #: scheduled faults injected into the run (None = healthy cluster);
+    #: either a FaultPlan or a CLI spec string like "crash:n2@30,partition:10-20"
+    faults: Optional[Union[str, FaultPlan]] = None
     profiles: dict[str, ClientProfile] = field(
         default_factory=lambda: dict(DEFAULT_PROFILES))
     trace: Optional[Trace] = None
@@ -72,6 +76,8 @@ class ScenarioResult:
     duration: float          # nominal workload window
     finished_at: float       # simulated time the last request settled
     offered_rps: float
+    #: the injector that drove the scenario's faults (None = healthy run)
+    injector: Optional[object] = None
 
     # -- headline numbers -------------------------------------------------
     @property
@@ -100,6 +106,23 @@ class ScenarioResult:
         if not self.metrics.total:
             return 0.0
         return self.metrics.counters["redirected"] / self.metrics.total
+
+    # -- degradation statistics ---------------------------------------------
+    @property
+    def fallback_count(self) -> int:
+        """Stale-load round-robin fallbacks across all brokers."""
+        return self.cluster.total_fallbacks()
+
+    @property
+    def retry_count(self) -> int:
+        """Client connection retries (graceful degradation only)."""
+        return self.metrics.counters["retries"]
+
+    @property
+    def reset_count(self) -> int:
+        """Connections reset by node crashes."""
+        return sum(s.connections_reset
+                   for s in self.cluster.servers.values())
 
     # -- substrate statistics -----------------------------------------------
     def cache_hit_rate(self) -> float:
@@ -159,6 +182,8 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         dispatcher=scenario.dispatcher,
     )
     scenario.corpus.install(cluster)
+    injector = (cluster.attach_faults(scenario.faults)
+                if scenario.faults is not None else None)
     sim = cluster.sim
     from dataclasses import replace as _replace
     nhosts = max(1, scenario.hosts_per_profile)
@@ -199,6 +224,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         duration=scenario.workload.duration,
         finished_at=sim.now,
         offered_rps=scenario.workload.offered_rps,
+        injector=injector,
     )
 
 

@@ -1,0 +1,30 @@
+"""Fault injection and graceful degradation.
+
+The subsystem has two halves:
+
+* :class:`FaultPlan` / :class:`Fault` — a declarative schedule of node
+  crashes, network partitions, disk degradations, heartbeat losses and
+  load-report corruptions (:mod:`repro.faults.plan`);
+* :class:`FaultInjector` — attaches a plan to a live
+  :class:`~repro.core.sweb.SWEBCluster` and flips the state at the
+  scheduled times (:mod:`repro.faults.injector`).
+
+The degradation *responses* live in the layers they protect: the broker's
+stale-load round-robin fallback (:mod:`repro.core.broker`), the client's
+bounded retry-with-backoff (:mod:`repro.web.client`), and loadd's
+suspicion-based availability view (:mod:`repro.core.loadinfo`) — all
+gated by ``CostParameters.graceful_degradation``.  See ``docs/FAULTS.md``
+for the fault model and ``sweb-repro run X9`` for the measured effect.
+"""
+
+from .injector import FaultInjector, InjectionRecord
+from .plan import FAULT_KINDS, Fault, FaultPlan, FaultSpecError
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectionRecord",
+]

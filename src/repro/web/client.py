@@ -79,23 +79,38 @@ class Client:
                                       name=f"client.{self.profile.name}")
 
     # -- the request state machine ------------------------------------------
+    def _resolve(self):
+        """One DNS exchange; returns the resolved node id.
+
+        Raises ``LookupError`` when the zone is empty (every server
+        deregistered)."""
+        sim = self.cluster.sim
+        if self.resolver is not None:
+            node_id = yield self.resolver.resolve()
+        else:
+            yield sim.timeout(self.cluster.dns.lookup_latency)
+            node_id = self.cluster.dns.resolve(self.profile.domain)
+        return node_id
+
     def _fetch(self, path: str, method: str = "GET",
                body_bytes: float = 0.0):
         sim = self.cluster.sim
+        params = self.cluster.params
         size = (self.cluster.fs.locate(path).size
                 if self.cluster.fs.exists(path) else 0.0)
         rec = self.metrics.new_record(path, start=sim.now,
                                       client=self.profile.name, size=size)
         deadline = sim.timeout(self.timeout)
+        # Graceful degradation: a refused or reset connection is retried
+        # (after exponential backoff, at a freshly-resolved node) instead
+        # of dropped.  Bounded, and off entirely in paper-faithful mode.
+        retries_left = (params.client_retries
+                        if params.graceful_degradation else 0)
 
         # --- DNS: Figure 1's first exchange ---------------------------------
         t0 = sim.now
         try:
-            if self.resolver is not None:
-                node_id = yield self.resolver.resolve()
-            else:
-                yield sim.timeout(self.cluster.dns.lookup_latency)
-                node_id = self.cluster.dns.resolve(self.profile.domain)
+            node_id = yield from self._resolve()
         except LookupError:
             self.metrics.drop(rec, sim.now, reason="dns")
             return rec
@@ -123,6 +138,15 @@ class Client:
             conn = self._connection(request_text, rec, hop, body_bytes)
             if not server.try_accept(conn):
                 rec.add_phase(phase, sim.now - t1)
+                if retries_left > 0:
+                    retries_left -= 1
+                    try:
+                        node_id = yield from self._retry(rec, node_id,
+                                                         "refused")
+                    except LookupError:
+                        self.metrics.drop(rec, sim.now, reason="dns")
+                        return rec
+                    continue
                 self.metrics.drop(rec, sim.now, reason="refused")
                 if self.cluster.trace is not None:
                     self.cluster.trace.emit(sim.now, "http",
@@ -144,6 +168,26 @@ class Client:
                 return rec
             response: HTTPResponse = conn.reply.value
 
+            if response.status == 503:
+                # The connection was reset mid-flight (the serving node
+                # crashed — including a redirect target that died between
+                # the 302 and our second connection).
+                if retries_left > 0:
+                    retries_left -= 1
+                    try:
+                        node_id = yield from self._retry(rec, node_id,
+                                                         "reset")
+                    except LookupError:
+                        self.metrics.drop(rec, sim.now, reason="dns")
+                        return rec
+                    continue
+                self.metrics.drop(rec, sim.now, reason="reset")
+                if self.cluster.trace is not None:
+                    self.cluster.trace.emit(sim.now, "http",
+                                            f"client-{rec.req_id}",
+                                            "reset", node=node_id)
+                return rec
+
             if response.is_redirect and hop == 0:
                 # Follow the 302 exactly once (the SWEB rule).
                 rec.redirected = True
@@ -161,6 +205,28 @@ class Client:
                                         status=response.status,
                                         node=node_id)
             return rec
+
+    def _retry(self, rec: RequestRecord, failed_node: int, reason: str):
+        """Back off exponentially, re-resolve DNS, and report the new node.
+
+        The delay is ``retry_backoff * 2^k`` for the k-th retry of this
+        request — bounded because the retry count itself is bounded by
+        ``client_retries``.  Raises ``LookupError`` if the zone emptied.
+        """
+        sim = self.cluster.sim
+        delay = self.cluster.params.retry_backoff * (2 ** rec.retries)
+        rec.retries += 1
+        self.metrics.counters.incr("retries")
+        if self.cluster.trace is not None:
+            self.cluster.trace.emit(sim.now, "http", f"client-{rec.req_id}",
+                                    "retry", reason=reason, node=failed_node,
+                                    backoff=round(delay, 3))
+        t0 = sim.now
+        if delay > 0:
+            yield sim.timeout(delay)
+        node_id = yield from self._resolve()
+        rec.add_phase("network", sim.now - t0)
+        return node_id
 
     def _connection(self, request_text: str, rec: RequestRecord,
                     hop: int, body_bytes: float = 0.0) -> Connection:

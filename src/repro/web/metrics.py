@@ -38,10 +38,12 @@ class RequestRecord:
     status: Optional[int] = None
     ok: bool = False
     dropped: bool = False
-    drop_reason: Optional[str] = None   # "refused" | "timeout" | "dns"
+    drop_reason: Optional[str] = None   # "refused" | "timeout" | "dns" | "reset"
     dns_node: Optional[int] = None      # where the DNS rotation sent it
     served_by: Optional[int] = None     # node that fulfilled it
     redirected: bool = False
+    #: connection retries performed (graceful degradation only)
+    retries: int = 0
     phases: dict[str, float] = field(default_factory=dict)
 
     @property

@@ -86,9 +86,13 @@ class HTTPServer:
         self.peers: dict[int, "HTTPServer"] = {}
         self.connections_active = 0
         self.connections_refused = 0
+        self.connections_reset = 0
         self.requests_handled = 0
         self.redirects_issued = 0
         self.forwards_issued = 0
+        #: connections currently in the §3.2 pipeline (so a crash can
+        #: reset them; see reset_connections)
+        self._live: list[Connection] = []
 
     # -- connection admission -----------------------------------------------
     def try_accept(self, conn: Connection) -> bool:
@@ -98,8 +102,27 @@ class HTTPServer:
             self.connections_refused += 1
             return False
         self.connections_active += 1
+        self._live.append(conn)
         self.sim.spawn(self._handle(conn), name=f"httpd{self.node.id}.conn")
         return True
+
+    def reset_connections(self) -> int:
+        """Abort every in-flight connection (the node crashed).
+
+        The client-visible effect of a crash is a TCP reset, which we
+        model as an immediate 503 so clients fail fast instead of
+        sitting out their full timeout.  Returns the number reset.
+        """
+        reset = 0
+        for conn in list(self._live):
+            if not conn.reply.triggered:
+                conn.reply.succeed(HTTPResponse(status=503))
+                reset += 1
+        self.connections_reset += reset
+        if reset and self.trace is not None:
+            self.trace.emit(self.sim.now, "http", f"httpd-{self.node.id}",
+                            "reset_connections", count=reset)
+        return reset
 
     # -- the §3.2 request pipeline ----------------------------------------------
     def _handle(self, conn: Connection):
@@ -178,6 +201,8 @@ class HTTPServer:
             yield from self._fulfill(conn, request, is_cgi)
         finally:
             self.connections_active -= 1
+            if conn in self._live:
+                self._live.remove(conn)
 
     def _forward(self, conn: Connection, target_id: int):
         """Request forwarding: ship the request over the cluster fabric,
@@ -272,6 +297,10 @@ class HTTPServer:
         concurrently with the transfer (the stack overlaps with the wire),
         so big responses raise the node's run queue — the "processor load
         caused by the overhead necessary to send bytes out" of §3."""
+        if conn.reply.triggered:
+            # The connection was reset (node crash) while this handler was
+            # mid-pipeline: the client already got its 503; nothing to send.
+            return
         t0 = self.sim.now
         if conn.relay_to is not None:
             # Forwarded request: relay the response across the fabric to
@@ -290,6 +319,10 @@ class HTTPServer:
             yield wire & stack
         else:
             yield wire
+        if conn.reply.triggered:
+            # Reset while the response was on the wire: the client already
+            # saw the 503 and moved on.
+            return
         conn.record.add_phase(phase, self.sim.now - t0)
         self.requests_handled += 1
         conn.reply.succeed(response)
