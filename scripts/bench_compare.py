@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_*.json`` files and fail on performance regressions.
+
+The bench harness (``sweb-repro bench``, see ``docs/PERFORMANCE.md``)
+writes per-phase throughput into ``BENCH_kernel.json``.  This script
+compares a baseline file against a new one, phase by phase, and exits
+non-zero when any phase's ``per_s`` dropped by more than the threshold
+(15 % by default) — the enforcement half of the kernel performance pass.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json NEW.json [--threshold 0.15]
+    python scripts/bench_compare.py --check [FILE]
+
+``--check`` validates that FILE (default: ``BENCH_kernel.json`` at the
+repo root) exists and carries the expected schema — the test suite runs
+it so a missing or malformed BENCH file fails fast.
+
+Exit codes: 0 ok, 1 regression (or failed ``--check``), 2 bad input
+(missing file, missing phase/metric, schema mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fractional slowdown tolerated before a phase counts as a regression.
+DEFAULT_THRESHOLD = 0.15
+
+#: Schema tag all BENCH files must carry (see ``repro.bench.SCHEMA``).
+SCHEMA = "sweb-bench/1"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_bench(path: Path) -> dict:
+    """Load and minimally validate one BENCH file.
+
+    Raises ``ValueError`` (bad content) or ``OSError`` (unreadable).
+    """
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r}, "
+                         f"expected {SCHEMA!r}")
+    phases = doc.get("phases")
+    if not isinstance(phases, dict) or not phases:
+        raise ValueError(f"{path}: no phases recorded")
+    for name, phase in phases.items():
+        if "per_s" not in phase or "wall_s" not in phase:
+            raise ValueError(f"{path}: phase {name!r} lacks per_s/wall_s")
+    if "totals" not in doc or "events_per_s" not in doc["totals"]:
+        raise ValueError(f"{path}: missing totals.events_per_s")
+    return doc
+
+
+def compare(base: dict, new: dict,
+            threshold: float = DEFAULT_THRESHOLD) -> tuple[list[str], bool]:
+    """Compare two loaded BENCH docs.
+
+    Returns ``(report_lines, ok)``; ``ok`` is False on any regression.
+    Raises ``KeyError`` if a baseline phase is missing from ``new``.
+    """
+    lines = [f"{'phase':<16} {'baseline/s':>14} {'new/s':>14} "
+             f"{'speedup':>8}  verdict"]
+    ok = True
+    for name, base_phase in base["phases"].items():
+        if name not in new["phases"]:
+            raise KeyError(f"phase {name!r} present in baseline but "
+                           f"missing from the new BENCH file")
+        new_phase = new["phases"][name]
+        base_rate = float(base_phase["per_s"])
+        new_rate = float(new_phase["per_s"])
+        ratio = new_rate / base_rate if base_rate > 0 else float("inf")
+        if ratio < 1.0 - threshold:
+            verdict = f"REGRESSION (>{threshold:.0%} slower)"
+            ok = False
+        elif ratio > 1.0 + threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(f"{name:<16} {base_rate:>14,.0f} {new_rate:>14,.0f} "
+                     f"{ratio:>7.2f}x  {verdict}")
+    extra = [n for n in new["phases"] if n not in base["phases"]]
+    if extra:
+        lines.append(f"(new phases not in baseline: {', '.join(extra)})")
+    return lines, ok
+
+
+def check(path: Path) -> int:
+    """--check mode: schema-validate one BENCH file; print the headline."""
+    try:
+        doc = load_bench(path)
+    except OSError as exc:
+        print(f"bench check FAILED: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 1
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"bench check FAILED: {exc}", file=sys.stderr)
+        return 2
+    totals = doc["totals"]
+    print(f"{path}: ok — {len(doc['phases'])} phases, "
+          f"{totals['events_per_s']:,.0f} kernel events/s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (see module docstring for usage)."""
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json files; fail on regressions")
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH file")
+    parser.add_argument("new", nargs="?", help="new BENCH file to judge")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fractional slowdown that fails (default 0.15)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate a single BENCH file instead of "
+                             "comparing two")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        target = Path(args.baseline) if args.baseline \
+            else REPO_ROOT / "BENCH_kernel.json"
+        return check(target)
+
+    if not args.baseline or not args.new:
+        parser.error("need BASELINE and NEW files (or --check)")
+    try:
+        base = load_bench(Path(args.baseline))
+        new = load_bench(Path(args.new))
+        lines, ok = compare(base, new, threshold=args.threshold)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"bench compare error: {exc}", file=sys.stderr)
+        return 2
+    print("\n".join(lines))
+    if not ok:
+        print(f"performance regression beyond {args.threshold:.0%} budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #!/usr/bin/env python
-"""Docstring lint for the library: every module and every public class
-under ``src/repro/`` must say what it is for.
+"""Docstring lint: every module and every public class under
+``src/repro/`` — and every helper script in ``scripts/`` — must say what
+it is for.
 
 The reproduction leans on prose — each module opens by citing the part
 of the paper it implements — so an undocumented module is a regression.
@@ -15,8 +16,13 @@ import ast
 import sys
 from pathlib import Path
 
-#: repo-root-relative tree the lint covers
-DEFAULT_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+_REPO = Path(__file__).resolve().parent.parent
+
+#: repo-root-relative tree the lint covers when called with one root
+DEFAULT_ROOT = _REPO / "src" / "repro"
+
+#: trees the CLI lints when invoked with no arguments
+DEFAULT_ROOTS = (DEFAULT_ROOT, _REPO / "scripts")
 
 
 def check_file(path: Path) -> list[str]:
@@ -43,9 +49,12 @@ def check_tree(root: Path = DEFAULT_ROOT) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Lint the given root(s), or src/repro + scripts by default."""
     args = argv if argv is not None else sys.argv[1:]
-    root = Path(args[0]) if args else DEFAULT_ROOT
-    problems = check_tree(root)
+    roots = [Path(a) for a in args] if args else list(DEFAULT_ROOTS)
+    problems: list[str] = []
+    for root in roots:
+        problems.extend(check_tree(root))
     for problem in problems:
         print(problem)
     if problems:

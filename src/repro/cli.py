@@ -5,7 +5,9 @@ Subcommands:
 * ``list`` — show every reproducible table/figure;
 * ``run T3 [--full]`` — regenerate one artifact and print it;
 * ``all [--full]`` — regenerate everything (EXPERIMENTS.md source);
-* ``serve`` — run an ad-hoc scenario from flags (testbed, policy, rps...).
+* ``serve`` — run an ad-hoc scenario from flags (testbed, policy, rps...);
+* ``bench`` — measure kernel/stack performance, write ``BENCH_kernel.json``
+  (see ``docs/PERFORMANCE.md``; ``--profile`` adds a cProfile breakdown).
 """
 
 from __future__ import annotations
@@ -48,6 +50,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--graceful", action="store_true",
                        help="enable graceful degradation (client retries, "
                             "stale-load fallback, suspicion filtering)")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the simulation kernel and the full stack")
+    bench.add_argument("-o", "--out", default="BENCH_kernel.json",
+                       help="output JSON path ('' to skip writing)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repeats per phase (best run is kept)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="scale factor on every phase's workload size")
+    bench.add_argument("--phase", action="append", dest="phases",
+                       metavar="NAME",
+                       help="run only this phase (repeatable); "
+                            "default: all phases")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile each phase: top functions + "
+                            "per-subsystem time split")
+    bench.add_argument("--top", type=int, default=20,
+                       help="rows in the --profile function table")
 
     replay = sub.add_parser(
         "replay", help="replay a Common Log Format access log")
@@ -222,6 +242,11 @@ def main(argv=None) -> int:
         return _cmd_all(args.full)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "bench":
+        from .bench import main as bench_main
+        return bench_main(out=args.out or None, repeats=args.repeats,
+                          scale=args.scale, profile=args.profile,
+                          top=args.top, phases=args.phases)
     if args.command == "replay":
         return _cmd_replay(args)
     if args.command == "config-template":

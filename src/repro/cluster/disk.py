@@ -66,12 +66,16 @@ class Disk:
             return self.server.submit(nbytes, tag=tag).done
         done = Event(self.sim)
 
-        def pump():
-            yield self.sim.timeout(self.seek_latency)
-            yield self.server.submit(nbytes, tag=tag).done
-            done.succeed(nbytes)
+        # Process-free callback chain (docs/PERFORMANCE.md): scheduling
+        # order matches the old generator pump exactly.
+        def queue_job(_ev: Event) -> None:
+            job = self.server.submit(nbytes, tag=tag)
+            job.done.callbacks.append(lambda ev: done.succeed(nbytes))
 
-        self.sim.spawn(pump(), name=f"{self.name}.read")
+        def start(_ev: Event) -> None:
+            self.sim.timeout(self.seek_latency).callbacks.append(queue_job)
+
+        self.sim.defer(start)
         return done
 
     def allocate(self, nbytes: float) -> None:

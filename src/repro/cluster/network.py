@@ -15,7 +15,7 @@ Three different fabrics appear in the paper:
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from ..sim import AllOf, Event, FairShareServer, Simulator
 
@@ -53,14 +53,19 @@ class Link:
         self.bytes_sent += nbytes
         done = Event(self.sim)
 
-        def pump():
-            if self.latency > 0:
-                yield self.sim.timeout(self.latency)
+        # Process-free callback chain (docs/PERFORMANCE.md): scheduling
+        # order matches the old generator pump exactly.
+        def queue_job(_ev: Event) -> None:
             job = self.server.submit(nbytes, cap=cap, tag=tag)
-            yield job.done
-            done.succeed(nbytes)
+            job.done.callbacks.append(lambda ev: done.succeed(nbytes))
 
-        self.sim.spawn(pump(), name=f"{self.name}.xfer")
+        def start(_ev: Event) -> None:
+            if self.latency > 0:
+                self.sim.timeout(self.latency).callbacks.append(queue_job)
+            else:
+                queue_job(_ev)
+
+        self.sim.defer(start)
         return done
 
     @property
@@ -95,6 +100,19 @@ class ClusterNetwork:
     def transfer(self, src: int, dst: int, nbytes: float, tag: Any = None) -> Event:
         """Move ``nbytes`` from node ``src`` to node ``dst``."""
         raise NotImplementedError
+
+    def multicast(self, src: int, dsts: Iterable[int], nbytes: float,
+                  tag: Any = None) -> list[Event]:
+        """Send one ``nbytes`` payload from ``src`` to every node in ``dsts``.
+
+        Returns one completion event per destination, in ``dsts`` order —
+        semantically identical to calling :meth:`transfer` in a loop, but
+        fabrics override it with a batched implementation that drives the
+        whole fan-out from a single simulator process (one spawn and one
+        latency timer instead of one per destination).  loadd's periodic
+        broadcasts — O(nodes²) transfers per period — are the main user.
+        """
+        return [self.transfer(src, dst, nbytes, tag=tag) for dst in dsts]
 
     def node_load(self, node: int) -> int:
         """In-flight transfers that involve ``node`` (loadd's net metric)."""
@@ -180,16 +198,61 @@ class FatTreeNetwork(ClusterNetwork):
         done = Event(self.sim)
         self.bytes_sent += nbytes
 
-        def pump():
-            if self.latency > 0:
-                yield self.sim.timeout(self.latency)
+        # Process-free callback chain (docs/PERFORMANCE.md): scheduling
+        # order matches the old generator pump exactly.
+        def open_stream(_ev: Event) -> None:
             out = self.ports[src].submit(nbytes, tag=tag)
             inn = self.ports[dst].submit(nbytes, tag=tag)
-            yield AllOf(self.sim, [out.done, inn.done])
-            done.succeed(nbytes)
+            both = AllOf(self.sim, [out.done, inn.done])
+            both.callbacks.append(lambda ev: done.succeed(nbytes))
 
-        self.sim.spawn(pump(), name=f"{self.name}.xfer")
+        def start(_ev: Event) -> None:
+            if self.latency > 0:
+                self.sim.timeout(self.latency).callbacks.append(open_stream)
+            else:
+                open_stream(_ev)
+
+        self.sim.defer(start)
         return done
+
+    def multicast(self, src: int, dsts: Iterable[int], nbytes: float,
+                  tag: Any = None) -> list[Event]:
+        """Batched fan-out: one process pays the latency once, then opens
+        every port-pair stream in ``dsts`` order — the same submissions in
+        the same order as per-destination :meth:`transfer` calls, without
+        a process/timer per destination."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        results: list[Event] = []
+        remote: list[tuple[int, Event]] = []
+        for dst in dsts:
+            if not (0 <= src < self.nodes and 0 <= dst < self.nodes):
+                raise ValueError(
+                    f"bad endpoints {src}->{dst} (nodes={self.nodes})")
+            if src == dst:
+                done = Event(self.sim)
+                done.succeed(nbytes)
+            elif not self.reachable(src, dst):
+                done = self._lost(src, dst, self.sim)
+            else:
+                self.bytes_sent += nbytes
+                done = Event(self.sim)
+                remote.append((dst, done))
+            results.append(done)
+        if remote:
+            def pump():
+                if self.latency > 0:
+                    yield self.sim.timeout(self.latency)
+                out_port = self.ports[src]
+                for dst, done in remote:
+                    out = out_port.submit(nbytes, tag=tag)
+                    inn = self.ports[dst].submit(nbytes, tag=tag)
+                    both = AllOf(self.sim, [out.done, inn.done])
+                    both.callbacks.append(
+                        lambda ev, d=done: d.succeed(nbytes))
+
+            self.sim.spawn(pump(), name=f"{self.name}.mcast")
+        return results
 
     def node_load(self, node: int) -> int:
         return self.ports[node].njobs
@@ -230,15 +293,53 @@ class SharedBusNetwork(ClusterNetwork):
         done = Event(self.sim)
         self.bytes_sent += nbytes
 
-        def pump():
-            if self.latency > 0:
-                yield self.sim.timeout(self.latency)
+        # Process-free callback chain (docs/PERFORMANCE.md): scheduling
+        # order matches the old generator pump exactly.
+        def queue_job(_ev: Event) -> None:
             job = self.bus.submit(nbytes, tag=tag)
-            yield job.done
-            done.succeed(nbytes)
+            job.done.callbacks.append(lambda ev: done.succeed(nbytes))
 
-        self.sim.spawn(pump(), name=f"{self.name}.xfer")
+        def start(_ev: Event) -> None:
+            if self.latency > 0:
+                self.sim.timeout(self.latency).callbacks.append(queue_job)
+            else:
+                queue_job(_ev)
+
+        self.sim.defer(start)
         return done
+
+    def multicast(self, src: int, dsts: Iterable[int], nbytes: float,
+                  tag: Any = None) -> list[Event]:
+        """Batched fan-out over the shared medium: one process pays the
+        latency once, then queues one bus job per destination in ``dsts``
+        order — the same contention as per-destination :meth:`transfer`
+        calls, without a process/timer per destination."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        results: list[Event] = []
+        remote: list[Event] = []
+        for dst in dsts:
+            if src == dst:
+                done = Event(self.sim)
+                done.succeed(nbytes)
+            elif not self.reachable(src, dst):
+                done = self._lost(src, dst, self.sim)
+            else:
+                self.bytes_sent += nbytes
+                done = Event(self.sim)
+                remote.append(done)
+            results.append(done)
+        if remote:
+            def pump():
+                if self.latency > 0:
+                    yield self.sim.timeout(self.latency)
+                for done in remote:
+                    job = self.bus.submit(nbytes, tag=tag)
+                    job.done.callbacks.append(
+                        lambda ev, d=done: d.succeed(nbytes))
+
+            self.sim.spawn(pump(), name=f"{self.name}.mcast")
+        return results
 
     def node_load(self, node: int) -> int:
         # A bus is global: every node observes the same contention.
@@ -286,12 +387,17 @@ class Internet:
         self.bytes_sent += nbytes
         done = Event(self.sim)
 
-        def pump():
-            if path.latency > 0:
-                yield self.sim.timeout(path.latency)
+        # Process-free callback chain (docs/PERFORMANCE.md): scheduling
+        # order matches the old generator pump exactly.
+        def queue_job(_ev: Event) -> None:
             job = nic.submit(nbytes, cap=path.bandwidth, tag=tag)
-            yield job.done
-            done.succeed(nbytes)
+            job.done.callbacks.append(lambda ev: done.succeed(nbytes))
 
-        self.sim.spawn(pump(), name="internet.send")
+        def start(_ev: Event) -> None:
+            if path.latency > 0:
+                self.sim.timeout(path.latency).callbacks.append(queue_job)
+            else:
+                queue_job(_ev)
+
+        self.sim.defer(start)
         return done

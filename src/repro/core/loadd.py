@@ -21,6 +21,7 @@ from typing import Optional
 from ..cluster.network import ClusterNetwork
 from ..cluster.node import Node
 from ..sim import Simulator, Trace
+from ..sim.trace import DETAIL as TRACE_DETAIL
 from .costmodel import CostParameters
 from .loadinfo import ClusterView, LoadSnapshot
 
@@ -147,20 +148,22 @@ class LoadDaemon:
             # report while this node's own view keeps the true sample.
             snap = replace(snap, cpu_load=snap.cpu_load * self.corrupt_factor)
         self.broadcasts += 1
-        if self.trace is not None:
+        if self.trace is not None and self.trace.active:
             self.trace.emit(self.sim.now, "loadd", f"loadd-{self.node.id}",
-                            "broadcast", cpu=round(snap.cpu_load, 3),
+                            "broadcast", level=TRACE_DETAIL,
+                            cpu=round(snap.cpu_load, 3),
                             disk=snap.disk_load, net=snap.net_load)
-        for peer_id, peer_view in self.peer_views.items():
-            if peer_id == self.node.id:
-                continue
+        # One batched fan-out: the fabric drives every peer delivery from
+        # a single process instead of spawning one per peer per period.
+        peers = [pid for pid in self.peer_views if pid != self.node.id]
+        events = self.network.multicast(self.node.id, peers,
+                                        self.params.loadd_msg_bytes,
+                                        tag="loadd")
+        for peer_id, done in zip(peers, events):
             self.messages_sent += 1
             self.bytes_sent += self.params.loadd_msg_bytes
-            done = self.network.transfer(self.node.id, peer_id,
-                                         self.params.loadd_msg_bytes,
-                                         tag="loadd")
 
-            def deliver(_ev, view=peer_view, s=snap):
+            def deliver(_ev, view=self.peer_views[peer_id], s=snap):
                 view.update(s)
 
             if done.callbacks is None:

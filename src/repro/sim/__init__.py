@@ -31,6 +31,8 @@ from .monitor import Monitor, ascii_series, ascii_sparkline
 from .resources import Container, Resource, Store
 from .rng import RandomStreams
 from .stats import Counter, PhaseAccumulator, Summary, Tally, TimeWeighted
+from .trace import DETAIL as TRACE_DETAIL
+from .trace import SUMMARY as TRACE_SUMMARY
 from .trace import Trace, TraceRecord
 
 __all__ = [
@@ -52,6 +54,8 @@ __all__ = [
     "Simulator",
     "Store",
     "Summary",
+    "TRACE_DETAIL",
+    "TRACE_SUMMARY",
     "Tally",
     "TimeWeighted",
     "Timeout",

@@ -181,21 +181,35 @@ class FairShareServer:
         """Apply progress accrued since the last state change."""
         now = self.sim.now
         dt = now - self._last_update
-        if dt > 0:
-            n = len(self._jobs)
-            self._pop_integral += n * dt
-            if n:
-                self._busy_integral += dt
-            for job in self._jobs:
-                step = min(job._rate * dt, job.remaining)
-                job.remaining -= step
-                self._work_done += step
+        if dt <= 0:
+            # Nothing can have progressed (or finished: every path that
+            # changes `remaining` runs the completion scan below itself).
+            return
         self._last_update = now
+        jobs = self._jobs
+        n = len(jobs)
+        if not n:
+            return
+        self._pop_integral += n * dt
+        self._busy_integral += dt
+        work_done = self._work_done
+        any_done = False
+        for job in jobs:
+            step = job._rate * dt
+            rem = job.remaining
+            if step > rem:
+                step = rem
+            job.remaining = rem - step
+            work_done += step
+            if rem - step <= _EPS * (job.work if job.work > 1.0 else 1.0):
+                any_done = True
+        self._work_done = work_done
         # Complete any job that ran out of work exactly now.
-        finished = [j for j in self._jobs if j.remaining <= _EPS * max(1.0, j.work)]
-        if finished:
+        if any_done:
+            finished = [j for j in jobs
+                        if j.remaining <= _EPS * max(1.0, j.work)]
             for job in finished:
-                self._jobs.remove(job)
+                jobs.remove(job)
                 self._finish(job)
 
     def _finish(self, job: Job) -> None:
@@ -208,10 +222,28 @@ class FairShareServer:
     def _reallocate(self) -> None:
         """Water-filling rate allocation, then schedule the next completion."""
         self._generation += 1
-        if not self._jobs:
+        jobs = self._jobs
+        if not jobs:
             return
         total = self._rate
-        pending = list(self._jobs)
+        for job in jobs:
+            if job.cap is not None:
+                break
+        else:
+            # Fast path: no capped job in service (the overwhelmingly
+            # common case) — the fair share is final on the first pass, so
+            # skip the iterative water-filling and its list copies.  The
+            # rate expression matches the general path bit for bit.
+            if total > _EPS:
+                wsum = sum(j.weight for j in jobs)
+                for j in jobs:
+                    j._rate = total * j.weight / wsum
+            else:
+                for j in jobs:
+                    j._rate = 0.0
+            self._schedule_wakeup()
+            return
+        pending = list(jobs)
         # Fix capped jobs whose fair share exceeds their cap, iteratively.
         for job in pending:
             job._rate = 0.0
@@ -229,6 +261,10 @@ class FairShareServer:
                 total -= j.cap
                 pending.remove(j)
             total = max(total, 0.0)
+        self._schedule_wakeup()
+
+    def _schedule_wakeup(self) -> None:
+        """Arm a timer for the earliest completion under the new rates."""
         # Earliest completion under the new allocation.
         soonest = math.inf
         for job in self._jobs:

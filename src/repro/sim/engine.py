@@ -8,11 +8,21 @@ process when the event it waits on triggers.
 
 Determinism: the event queue breaks ties on (time, priority, sequence
 number), so two runs with the same seed produce identical schedules.
+
+Performance: this file is the hottest code in the repository (see
+``docs/PERFORMANCE.md``).  The main loop in :meth:`Simulator.run` inlines
+:meth:`Simulator.step`, the trigger/timeout paths push onto the heap
+directly instead of going through :meth:`Simulator._push`, and processed
+events return their callback lists to a per-simulator free pool so steady
+state allocates no lists.  All of it is behaviour-preserving: the
+schedule order — (time, priority, seq) — is untouched, and
+``tests/test_determinism.py`` pins bit-identical fixed-seed results.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -79,7 +89,9 @@ class Event:
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        pool = sim._cb_pool
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = (
+            pool.pop() if pool else [])
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._state = Event.PENDING
@@ -134,7 +146,9 @@ class Event:
         self._ok = ok
         self._value = value
         self._state = Event.TRIGGERED
-        self.sim._push(self, delay=0.0, priority=priority)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now, priority, seq, self))
 
     # -- combinators -------------------------------------------------------
     def __or__(self, other: "Event") -> "AnyOf":
@@ -155,12 +169,18 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Hot path: sets every Event field directly (no super() chain) and
+        # pushes the pre-triggered event onto the heap in one go.
+        self.sim = sim
+        pool = sim._cb_pool
+        self.callbacks = pool.pop() if pool else []
         self._value = value
+        self._ok = True
         self._state = Event.TRIGGERED
-        sim._push(self, delay=delay, priority=NORMAL)
+        self._defused = False
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now + delay, NORMAL, seq, self))
 
 
 class _Interruption(Event):
@@ -175,7 +195,7 @@ class _Interruption(Event):
         self._value = Interrupt(cause)
         self._defused = True
         self._state = Event.TRIGGERED
-        self.callbacks = [self._apply]
+        self.callbacks.append(self._apply)
         self.sim._push(self, delay=0.0, priority=URGENT)
 
     def _apply(self, event: Event) -> None:
@@ -210,8 +230,9 @@ class Process(Event):
         init = Event(sim)
         init._ok = True
         init._state = Event.TRIGGERED
-        init.callbacks = [self._resume]
-        sim._push(init, delay=0.0, priority=URGENT)
+        init.callbacks.append(self._resume)
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now, URGENT, seq, init))
 
     @property
     def is_alive(self) -> bool:
@@ -230,15 +251,18 @@ class Process(Event):
         _Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
+        gen = self.gen
+        send = gen.send
         try:
             while True:
                 try:
                     if event._ok:
-                        target = self.gen.send(event._value)
+                        target = send(event._value)
                     else:
                         event._defused = True
-                        target = self.gen.throw(event._value)
+                        target = gen.throw(event._value)
                 except StopIteration as stop:
                     self._target = None
                     self.succeed(stop.value)
@@ -255,7 +279,7 @@ class Process(Event):
                            f"processes must yield Event instances")
                     err = SimulationError(msg)
                     try:
-                        self.gen.throw(err)
+                        gen.throw(err)
                     except StopIteration as stop:
                         self._target = None
                         self.succeed(stop.value)
@@ -264,19 +288,20 @@ class Process(Event):
                         self._target = None
                         self.fail(err)
                         return
-                if target.sim is not self.sim:
+                if target.sim is not sim:
                     raise SimulationError(
                         f"process {self.name!r} yielded an event from a "
                         f"different simulator")
-                if target.callbacks is None:
+                cbs = target.callbacks
+                if cbs is None:
                     # Already processed: resume immediately with its value.
                     event = target
                     continue
-                target.callbacks.append(self._resume)
+                cbs.append(self._resume)
                 self._target = target
                 return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} alive={self.is_alive}>"
@@ -346,12 +371,19 @@ class AllOf(_Condition):
 class Simulator:
     """The event loop: owns virtual time and the pending-event heap."""
 
+    #: cap on the callback-list free pool (plenty for the deepest cascade)
+    _POOL_MAX = 256
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._event_count = 0
+        # Free pool of empty callback lists: Event.__init__ pops, the run
+        # loop returns each processed event's (cleared) list.  Purely an
+        # allocation-rate optimisation — never observable.
+        self._cb_pool: list[list] = []
 
     # -- time --------------------------------------------------------------
     @property
@@ -375,12 +407,48 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """An event that fires ``delay`` time units from now.
+
+        Hot path: builds the :class:`Timeout` without the ``__init__``
+        call frame (one frame per event adds up) — keep the field
+        assignments in sync with :meth:`Timeout.__init__`.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        ev = Timeout.__new__(Timeout)
+        ev.sim = self
+        pool = self._cb_pool
+        ev.callbacks = pool.pop() if pool else []
+        ev._value = value
+        ev._ok = True
+        ev._state = 1  # Event.TRIGGERED
+        ev._defused = False
+        ev.delay = delay
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, NORMAL, seq, ev))
+        return ev
 
     def spawn(self, gen: ProcessGenerator, name: Optional[str] = None) -> Process:
         """Start a new process from a generator."""
         return Process(self, gen, name=name)
+
+    def defer(self, fn: Callable[[Event], None]) -> Event:
+        """Run ``fn(event)`` urgently at the current time, once the event
+        being processed now has finished.
+
+        A process-free alternative to :meth:`spawn` for straight-line
+        callback chains (the network/disk pumps): it schedules exactly
+        like a new process's initialisation event — same URGENT priority,
+        same sequence position — without the generator, the
+        :class:`Process` object, or the process-completion event.
+        """
+        ev = Event(self)
+        ev._ok = True
+        ev._state = Event.TRIGGERED
+        ev.callbacks.append(fn)
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now, URGENT, seq, ev))
+        return ev
 
     # Alias familiar to simpy users.
     process = spawn
@@ -401,10 +469,13 @@ class Simulator:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event.
+
+        :meth:`run` inlines this body for speed; keep the two in sync.
+        """
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         if when < self._now - 1e-12:
             raise SimulationError("event scheduled in the past")
         self._now = max(self._now, when)
@@ -416,6 +487,9 @@ class Simulator:
         if not event._ok and not event._defused:
             exc = event._value
             raise exc
+        if len(self._cb_pool) < self._POOL_MAX:
+            callbacks.clear()
+            self._cb_pool.append(callbacks)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -451,9 +525,32 @@ class Simulator:
                 stopper.callbacks = [lambda ev: (_ for _ in ()).throw(StopSimulation(None))]
                 self._seq += 1
                 heapq.heappush(self._queue, (at, URGENT, self._seq, stopper))
+        # Hot loop: an inlined copy of step() (kept in sync by hand) with
+        # bound locals — the method-call and attribute-lookup overhead per
+        # event is the single largest kernel cost.
+        queue = self._queue
+        pool = self._cb_pool
+        pool_max = self._POOL_MAX
+        pop = heappop
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _prio, _seq, event = pop(queue)
+                now = self._now
+                if when >= now:
+                    self._now = when
+                elif when < now - 1e-12:
+                    raise SimulationError("event scheduled in the past")
+                self._event_count += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                event._state = 2  # Event.PROCESSED
+                if not event._ok and not event._defused:
+                    raise event._value
+                if len(pool) < pool_max:
+                    callbacks.clear()
+                    pool.append(callbacks)
         except StopSimulation as stop:
             stop_value = stop.value
             if until is not None and not isinstance(until, Event):

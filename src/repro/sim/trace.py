@@ -4,6 +4,21 @@ Every subsystem can emit timestamped, categorised records into a shared
 :class:`Trace`.  Experiments use it to render Figure 1 (the HTTP
 transaction sequence) and Figure 3 (broker/oracle/loadd interactions), and
 tests use it to assert orderings without poking at internals.
+
+Verbosity is gated cheaply so tracing costs ~nothing when off (the hot
+paths check :attr:`Trace.active` before even building the detail dict):
+
+* every record carries a *level*: :data:`SUMMARY` (the default — scheduling
+  decisions, request lifecycle, faults) or :data:`DETAIL` (the high-volume
+  sites: per-broadcast loadd and per-read io chatter mark themselves with
+  ``level=DETAIL``).  ``Trace(level=SUMMARY)`` drops DETAIL records at the
+  door;
+* ``Trace(sample_every=n)`` keeps every *n*-th record per category — a
+  deterministic decimation for long runs;
+* ``max_records`` caps the log; once full the trace deactivates itself.
+
+See docs/METRICS.md for the knobs and docs/PERFORMANCE.md for the cost
+numbers.
 """
 
 from __future__ import annotations
@@ -11,10 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
-__all__ = ["TraceRecord", "Trace"]
+__all__ = ["TraceRecord", "Trace", "SUMMARY", "DETAIL"]
+
+#: Level of headline records: scheduling, request lifecycle, faults.
+SUMMARY = 1
+#: Level of high-volume records: loadd broadcasts, per-read io chatter.
+DETAIL = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace line: when, which component, what happened, details."""
 
@@ -30,21 +50,50 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only, filterable log of :class:`TraceRecord`."""
+    """An append-only, filterable log of :class:`TraceRecord`.
 
-    def __init__(self, enabled: bool = True, max_records: Optional[int] = None) -> None:
-        self.enabled = enabled
+    ``level`` keeps only records at or below that verbosity (default
+    :data:`DETAIL` keeps everything); ``sample_every`` keeps every n-th
+    surviving record per category; ``max_records`` bounds the log.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None,
+                 level: int = DETAIL, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.max_records = max_records
+        self.level = level
+        self.sample_every = sample_every
         self.records: list[TraceRecord] = []
+        self._seen: dict[str, int] = {}
+        self._enabled = bool(enabled)
+        #: cheap gate hot paths read before building a record's detail
+        self.active = self._enabled and (max_records is None or max_records > 0)
+
+    @property
+    def enabled(self) -> bool:
+        """Master switch; assignment keeps :attr:`active` in sync."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self.active = self._enabled and (
+            self.max_records is None or len(self.records) < self.max_records)
 
     def emit(self, time: float, category: str, actor: str, action: str,
-             **detail: Any) -> None:
-        """Append a record (no-op when disabled or full)."""
-        if not self.enabled:
+             level: int = SUMMARY, **detail: Any) -> None:
+        """Append a record (no-op when inactive, filtered or sampled out)."""
+        if not self.active or level > self.level:
             return
-        if self.max_records is not None and len(self.records) >= self.max_records:
-            return
+        if self.sample_every > 1:
+            seen = self._seen.get(category, 0)
+            self._seen[category] = seen + 1
+            if seen % self.sample_every:
+                return
         self.records.append(TraceRecord(time, category, actor, action, detail))
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.active = False
 
     def __len__(self) -> int:
         return len(self.records)

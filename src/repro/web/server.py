@@ -16,6 +16,7 @@ from ..cluster.network import Internet, WANPath
 from ..cluster.node import Node
 from ..cluster.filesystem import DistributedFileSystem
 from ..sim import Event, Simulator, Trace
+from ..sim.trace import DETAIL as TRACE_DETAIL
 
 if TYPE_CHECKING:  # pragma: no cover - avoid a web <-> core import cycle
     from ..core.broker import Broker
@@ -272,10 +273,10 @@ class HTTPServer:
         else:
             outcome = yield self.fs.read(path, at_node=self.node.id)
             body = outcome.nbytes
-            if self.trace is not None:
+            if self.trace is not None and self.trace.active:
                 self.trace.emit(self.sim.now, "io", f"httpd-{self.node.id}",
-                                "file_read", path=path, source=outcome.source,
-                                remote=outcome.remote)
+                                "file_read", level=TRACE_DETAIL, path=path,
+                                source=outcome.source, remote=outcome.remote)
         response = HTTPResponse(status=200, body_bytes=body)
         if request.method == "HEAD":
             response.body_bytes = 0.0

@@ -1,0 +1,141 @@
+"""scripts/bench_compare.py: regression gate over BENCH_*.json files.
+
+Covers the compare verdicts (ok / improved / REGRESSION), error paths
+(missing phase, malformed file), and ``--check`` — including the live
+check against the committed ``BENCH_kernel.json`` at the repo root,
+which the acceptance criteria require to validate cleanly.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "bench_compare.py"
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("bench_compare", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _bench_doc(per_s_by_phase):
+    phases = {
+        name: {"units": 1000, "unit": "events",
+               "wall_s": round(1000 / per_s, 6), "per_s": per_s}
+        for name, per_s in per_s_by_phase.items()
+    }
+    headline = per_s_by_phase.get("timeout_chain", 0.0)
+    return {
+        "schema": "sweb-bench/1",
+        "python": "3.11.7",
+        "repeats": 3,
+        "scale": 1.0,
+        "phases": phases,
+        "totals": {"wall_s": 1.0, "events_per_s": headline,
+                   "peak_rss_kb": 40000},
+    }
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+# -- compare() --------------------------------------------------------------
+
+def test_improvement_and_ok_pass(tmp_path):
+    bc = _load()
+    base = _bench_doc({"timeout_chain": 1000.0, "fair_share": 500.0})
+    new = _bench_doc({"timeout_chain": 2000.0, "fair_share": 490.0})
+    lines, ok = bc.compare(base, new)
+    assert ok
+    report = "\n".join(lines)
+    assert "improved" in report and "2.00x" in report
+    # 2 % slower is inside the 15 % budget
+    assert "REGRESSION" not in report
+
+
+def test_regression_beyond_threshold_fails(tmp_path):
+    bc = _load()
+    base = _bench_doc({"timeout_chain": 1000.0})
+    new = _bench_doc({"timeout_chain": 800.0})   # 20 % slower
+    lines, ok = bc.compare(base, new)
+    assert not ok
+    assert any("REGRESSION" in line for line in lines)
+    # ...but a looser budget tolerates it
+    _, ok_loose = bc.compare(base, new, threshold=0.25)
+    assert ok_loose
+
+
+def test_missing_phase_in_new_raises(tmp_path):
+    bc = _load()
+    base = _bench_doc({"timeout_chain": 1000.0, "fair_share": 500.0})
+    new = _bench_doc({"timeout_chain": 1000.0})
+    with pytest.raises(KeyError, match="fair_share"):
+        bc.compare(base, new)
+
+
+def test_extra_phase_in_new_is_noted_not_fatal(tmp_path):
+    bc = _load()
+    base = _bench_doc({"timeout_chain": 1000.0})
+    new = _bench_doc({"timeout_chain": 1000.0, "shiny_new": 1.0})
+    lines, ok = bc.compare(base, new)
+    assert ok
+    assert any("shiny_new" in line for line in lines)
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bc = _load()
+    base = _write(tmp_path, "base.json", _bench_doc({"timeout_chain": 1000.0}))
+    good = _write(tmp_path, "good.json", _bench_doc({"timeout_chain": 1100.0}))
+    bad = _write(tmp_path, "bad.json", _bench_doc({"timeout_chain": 100.0}))
+    assert bc.main([str(base), str(good)]) == 0
+    assert bc.main([str(base), str(bad)]) == 1
+    assert bc.main([str(base), str(tmp_path / "absent.json")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_rejects_wrong_schema_and_missing_metrics(tmp_path, capsys):
+    bc = _load()
+    ok_doc = _bench_doc({"timeout_chain": 1000.0})
+    base = _write(tmp_path, "base.json", ok_doc)
+
+    wrong_schema = dict(ok_doc, schema="sweb-bench/999")
+    target = _write(tmp_path, "schema.json", wrong_schema)
+    assert bc.main([str(base), str(target)]) == 2
+
+    no_per_s = json.loads(json.dumps(ok_doc))
+    del no_per_s["phases"]["timeout_chain"]["per_s"]
+    target = _write(tmp_path, "noper.json", no_per_s)
+    assert bc.main([str(base), str(target)]) == 2
+    capsys.readouterr()
+
+
+def test_check_mode(tmp_path, capsys):
+    bc = _load()
+    good = _write(tmp_path, "g.json", _bench_doc({"timeout_chain": 1000.0}))
+    assert bc.main(["--check", str(good)]) == 0
+    assert bc.main(["--check", str(tmp_path / "absent.json")]) == 1
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text('{"schema": "nope"}')
+    assert bc.main(["--check", str(garbled)]) == 2
+    capsys.readouterr()
+
+
+def test_committed_bench_file_checks_clean(capsys):
+    """The acceptance gate: BENCH_kernel.json at the repo root is
+    present, schema-valid, and carries a non-zero kernel events/s."""
+    bc = _load()
+    assert bc.main(["--check"]) == 0
+    out = capsys.readouterr().out
+    assert "ok" in out
+    doc = bc.load_bench(REPO / "BENCH_kernel.json")
+    assert doc["totals"]["events_per_s"] > 0

@@ -1,0 +1,117 @@
+"""Fixed-seed determinism regression tests.
+
+The kernel performance pass (``docs/PERFORMANCE.md``) rewrote several hot
+paths — the run loop, the fair-share water-filling allocator, trace
+gating, and the loadd broadcast fan-out — under the contract that every
+change is *behaviour-preserving*: a fixed-seed scenario must produce
+bit-identical metrics before and after.  This module pins that contract:
+it runs two small scenarios (one per fabric type) and compares an exact,
+``repr``-level fingerprint of every request record, counter and trace
+line against a golden fixture generated before the optimisation pass.
+
+If a change legitimately alters simulation behaviour (new feature, model
+fix), regenerate the golden file::
+
+    PYTHONPATH=src python tests/test_determinism.py --regenerate
+
+and explain the behaviour change in the commit message.  A *performance*
+change must never need to do this.
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+from repro.cluster import meiko_cs2, sun_now
+from repro.core.costmodel import CostParameters
+from repro.experiments.runner import Scenario, run_scenario
+from repro.sim import RandomStreams, Trace
+from repro.workload import (
+    burst_workload,
+    poisson_workload,
+    uniform_corpus,
+    uniform_sampler,
+)
+
+GOLDEN = Path(__file__).resolve().parent / "data" / "determinism_fingerprint.json"
+
+
+def _scenarios():
+    """Two fixed-seed scenarios covering both fabrics and both hot paths."""
+    meiko_corpus = uniform_corpus(24, 4e4, 6)
+    meiko = Scenario(
+        name="det-meiko",
+        spec=meiko_cs2(6),
+        corpus=meiko_corpus,
+        workload=burst_workload(
+            20, 8.0, uniform_sampler(meiko_corpus, RandomStreams(seed=7))),
+        policy="sweb",
+        seed=3,
+        trace=Trace(),
+    )
+    now_corpus = uniform_corpus(12, 8e4, 4)
+    now = Scenario(
+        name="det-now",
+        spec=sun_now(4),
+        corpus=now_corpus,
+        workload=poisson_workload(
+            10.0, 6.0, uniform_sampler(now_corpus, RandomStreams(seed=11)),
+            RandomStreams(seed=13)),
+        policy="sweb",
+        seed=5,
+        params=CostParameters(),
+        trace=Trace(),
+    )
+    return [meiko, now]
+
+
+def _record_line(rec) -> str:
+    phases = " ".join(f"{k}={v!r}" for k, v in sorted(rec.phases.items()))
+    return (f"{rec.req_id} {rec.path} start={rec.start!r} end={rec.end!r} "
+            f"status={rec.status} ok={rec.ok} dropped={rec.dropped} "
+            f"reason={rec.drop_reason} dns={rec.dns_node} "
+            f"served={rec.served_by} redirected={rec.redirected} "
+            f"retries={rec.retries} [{phases}]")
+
+
+def fingerprint() -> dict:
+    """Exact (repr-level) digest of the two fixed-seed scenarios."""
+    out = {}
+    for scenario in _scenarios():
+        result = run_scenario(scenario)
+        metrics = result.metrics
+        trace_text = scenario.trace.render()
+        out[scenario.name] = {
+            "records": [_record_line(r) for r in metrics.records],
+            "counters": {k: v for k, v in
+                         sorted(metrics.counters.as_dict().items())},
+            "served_by": {str(k): v for k, v in
+                          sorted(metrics.served_by_histogram().items())},
+            "finished_at": repr(result.finished_at),
+            "trace_records": len(scenario.trace),
+            "trace_sha256": hashlib.sha256(
+                trace_text.encode()).hexdigest(),
+        }
+    return out
+
+
+def test_fixed_seed_scenarios_match_golden_fingerprint():
+    golden = json.loads(GOLDEN.read_text())
+    current = fingerprint()
+    assert current.keys() == golden.keys()
+    for name in golden:
+        for key in golden[name]:
+            assert current[name][key] == golden[name][key], (
+                f"{name}.{key} drifted from the golden fingerprint — a "
+                f"supposedly behaviour-preserving change altered simulation "
+                f"results (see docs/PERFORMANCE.md)")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(fingerprint(), indent=1) + "\n")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

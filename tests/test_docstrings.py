@@ -34,3 +34,17 @@ def test_lint_cli_passes_on_real_tree(capsys):
     lint = _load_lint()
     assert lint.main([str(REPO / "src" / "repro")]) == 0
     assert capsys.readouterr().out == ""
+
+
+def test_scripts_tree_is_documented():
+    lint = _load_lint()
+    problems = lint.check_tree(REPO / "scripts")
+    assert problems == [], "\n".join(problems)
+
+
+def test_lint_default_covers_library_and_scripts(capsys):
+    # No-arg main lints both default roots (src/repro and scripts/).
+    lint = _load_lint()
+    assert len(lint.DEFAULT_ROOTS) == 2
+    assert lint.main([]) == 0
+    assert capsys.readouterr().out == ""
