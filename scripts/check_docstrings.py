@@ -3,20 +3,24 @@
 ``src/repro/`` — and every helper script in ``scripts/`` — must say what
 it is for.
 
-The reproduction leans on prose — each module opens by citing the part
-of the paper it implements — so an undocumented module is a regression.
-Run directly (``python scripts/check_docstrings.py``) or via the test
-suite (``tests/test_docstrings.py``); exits non-zero listing every
+This script is now a thin compatibility wrapper around the unified
+analyzer's docstring rules (``repro.lint.rules.docstrings``); run the
+full analyzer with ``sweb-repro lint`` (see ``docs/LINTING.md``).  Kept
+so existing invocations (``python scripts/check_docstrings.py``) and
+``tests/test_docstrings.py`` keep working; exits non-zero listing every
 offender as ``path:line: problem``.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
 _REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+
+from repro.lint import run_lint                          # noqa: E402
+from repro.lint.rules.docstrings import RULES            # noqa: E402
 
 #: repo-root-relative tree the lint covers when called with one root
 DEFAULT_ROOT = _REPO / "src" / "repro"
@@ -27,25 +31,14 @@ DEFAULT_ROOTS = (DEFAULT_ROOT, _REPO / "scripts")
 
 def check_file(path: Path) -> list[str]:
     """Return ``path:line: problem`` strings for one source file."""
-    tree = ast.parse(path.read_text(), filename=str(path))
-    problems = []
-    if ast.get_docstring(tree) is None:
-        problems.append(f"{path}:1: module has no docstring")
-    for node in ast.walk(tree):
-        if (isinstance(node, ast.ClassDef)
-                and not node.name.startswith("_")
-                and ast.get_docstring(node) is None):
-            problems.append(f"{path}:{node.lineno}: public class "
-                            f"{node.name!r} has no docstring")
-    return problems
+    return [f"{d.path}:{d.line}: {d.message}"
+            for d in run_lint([path], rules=RULES)]
 
 
 def check_tree(root: Path = DEFAULT_ROOT) -> list[str]:
     """Lint every ``*.py`` file under ``root``; return all problems."""
-    problems: list[str] = []
-    for path in sorted(root.rglob("*.py")):
-        problems.extend(check_file(path))
-    return problems
+    return [f"{d.path}:{d.line}: {d.message}"
+            for d in run_lint([root], rules=RULES)]
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -81,6 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("config-template",
                    help="print a complete JSON configuration file")
 
+    lint = sub.add_parser(
+        "lint", help="run the sweb-lint static analyzer "
+                     "(see docs/LINTING.md)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: src/ and scripts/)")
+    lint.add_argument("--types", action="store_true",
+                      help="also run the optional mypy pass (strict on "
+                           "repro.sim and repro.core; skipped when mypy "
+                           "is not installed)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
     report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md (all artifacts)")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
@@ -251,6 +264,10 @@ def main(argv=None) -> int:
         return _cmd_replay(args)
     if args.command == "config-template":
         return _cmd_config_template()
+    if args.command == "lint":
+        from .lint.runner import run_cli
+        return run_cli(paths=args.paths, types=args.types,
+                       list_rules=args.list_rules)
     if args.command == "report":
         from .experiments.report import generate_report
 

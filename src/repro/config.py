@@ -159,5 +159,7 @@ def dump_config(config: SWEBConfig, path: Optional[Union[str, Path]] = None
     }
     text = json.dumps(data, indent=2, sort_keys=True)
     if path is not None:
-        Path(path).write_text(text + "\n")
+        # dump_config's contract is "serialize to this path when asked":
+        # the write happens only on an explicit caller-supplied path.
+        Path(path).write_text(text + "\n")  # sweb-lint: disable=io-file-write
     return text

@@ -16,11 +16,11 @@ bytes that show up in the §4.3 overhead measurements.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..cluster.network import ClusterNetwork
 from ..cluster.node import Node
-from ..sim import Simulator, Trace
+from ..sim import Event, Process, Simulator, Trace
 from ..sim.trace import DETAIL as TRACE_DETAIL
 from .costmodel import CostParameters
 from .loadinfo import ClusterView, LoadSnapshot
@@ -95,20 +95,20 @@ class LoadDaemon:
         )
 
     # -- the daemon loop -----------------------------------------------------
-    def start(self):
+    def start(self) -> Process:
         """Spawn the periodic broadcast process (returns it)."""
         if self._proc is None:
             self._proc = self.sim.spawn(self._run(), name=f"loadd@{self.node.id}")
         return self._proc
 
-    def broadcast_now(self):
+    def broadcast_now(self) -> LoadSnapshot:
         """One immediate sample + broadcast over the real interconnect."""
         snap = self.sample()
         self.view.update(snap)
         self._ship(snap)
         return snap
 
-    def bootstrap(self):
+    def bootstrap(self) -> LoadSnapshot:
         """Install an initial sample in *every* view synchronously.
 
         At daemon start-up each node reads the static pool membership from
@@ -120,7 +120,7 @@ class LoadDaemon:
             view.update(snap)
         return snap
 
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         # Stagger daemons slightly by node id so broadcasts do not collide
         # on the interconnect in lock-step (deterministic, not random).
         yield self.sim.timeout(0.01 * self.node.id)
@@ -163,7 +163,9 @@ class LoadDaemon:
             self.messages_sent += 1
             self.bytes_sent += self.params.loadd_msg_bytes
 
-            def deliver(_ev, view=self.peer_views[peer_id], s=snap):
+            def deliver(_ev: Event,
+                        view: ClusterView = self.peer_views[peer_id],
+                        s: LoadSnapshot = snap) -> None:
                 view.update(s)
 
             if done.callbacks is None:

@@ -18,10 +18,13 @@ daemons broadcast forever, so an unbounded run never quiesces.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
 from ..cluster.topology import BuiltCluster, ClusterSpec, meiko_cs2
-from ..sim import RandomStreams, Simulator, Trace
+from ..sim import Process, RandomStreams, Simulator, Trace
+
+if TYPE_CHECKING:
+    from ..faults import FaultInjector, FaultPlan
 from ..web.cgi import CGIRegistry
 from ..web.client import Client, ClientProfile, UCSB_CLIENT
 from ..web.dns import RoundRobinDNS
@@ -128,7 +131,8 @@ class SWEBCluster:
         """Place one document on a node's disk."""
         self.fs.add_file(path, size, home)
 
-    def add_striped_file(self, path: str, size: float, stripes) -> None:
+    def add_striped_file(self, path: str, size: float,
+                         stripes: Sequence[int]) -> None:
         """Stripe one document across several nodes' disks (§1's parallel
         retrieval from inexpensive disks)."""
         self.fs.add_striped_file(path, size, stripes)
@@ -145,12 +149,12 @@ class SWEBCluster:
         return Client(self, profile=profile, timeout=timeout)
 
     def fetch(self, path: str, profile: ClientProfile = UCSB_CLIENT,
-              timeout: float = 120.0):
+              timeout: float = 120.0) -> Process:
         """Convenience: spawn a single request, return its Process."""
         return self.client(profile, timeout=timeout).fetch(path)
 
     # -- execution ------------------------------------------------------------
-    def run(self, until=None):
+    def run(self, until: Any = None) -> Any:
         """Advance the simulation to ``until`` (an event, process or
         time).  Pass one whenever loadd is running: the periodic
         broadcasts keep the event queue non-empty forever, so an
@@ -189,7 +193,8 @@ class SWEBCluster:
         self.loadds[node_id].broadcast_now()
 
     # -- fault injection --------------------------------------------------------
-    def attach_faults(self, plan) -> "FaultInjector":
+    def attach_faults(
+            self, plan: Union[str, "FaultPlan"]) -> "FaultInjector":
         """Attach and start a :class:`~repro.faults.plan.FaultPlan` (or a
         CLI spec string for one); returns the running injector."""
         from ..faults import FaultInjector, FaultPlan

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from ..core.costmodel import CostParameters
-from ..cluster.topology import meiko_cs2
+from ..core import CostParameters
+from ..cluster import meiko_cs2
 from ..sim import RandomStreams
 from ..workload import bimodal_corpus, burst_workload, uniform_sampler
 from .base import ExperimentReport

@@ -16,9 +16,8 @@ The adaptive server should recover most of the gap.
 
 from __future__ import annotations
 
-from ..core.adaptive_oracle import AdaptiveOracle
-from ..core.oracle import Oracle, OracleRule
-from ..cluster.topology import meiko_cs2
+from ..core import AdaptiveOracle, Oracle, OracleRule
+from ..cluster import meiko_cs2
 from ..sim import RandomStreams
 from ..workload import bimodal_corpus, burst_workload, uniform_sampler
 from .base import ExperimentReport
@@ -39,9 +38,9 @@ def _cell(oracle, rps: int, duration: float, label: str) -> ScenarioResult:
     """
     from dataclasses import replace as _replace
 
-    from ..core.sweb import SWEBCluster
+    from ..core import SWEBCluster
     from ..sim import AllOf
-    from ..web.client import Client, UCSB_CLIENT
+    from ..web import Client, UCSB_CLIENT
 
     corpus = bimodal_corpus(150, 6, large_frac=0.5, seed=9)
     sampler = uniform_sampler(corpus, RandomStreams(seed=42))

@@ -8,8 +8,8 @@ bound tracks the simulation across p.
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
-from ..core.analysis import AnalysisInputs, max_sustained_rps, paper_example
+from ..cluster import meiko_cs2
+from ..core import AnalysisInputs, max_sustained_rps, paper_example
 from .base import ExperimentReport
 from .paper_data import ANALYSIS
 from .table1 import max_rps_cell

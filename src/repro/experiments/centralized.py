@@ -20,10 +20,10 @@ Two measurements:
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
-from ..core.sweb import SWEBCluster
+from ..cluster import meiko_cs2
+from ..core import SWEBCluster
 from ..sim import AllOf, RandomStreams
-from ..web.client import Client
+from ..web import Client
 from ..workload import burst_workload, uniform_corpus, uniform_sampler
 from .base import ExperimentReport
 from .runner import Scenario, run_scenario

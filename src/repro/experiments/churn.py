@@ -17,10 +17,10 @@ stale, and the rejoin is absorbed automatically.
 
 from __future__ import annotations
 
-from ..core.sweb import SWEBCluster
-from ..cluster.topology import meiko_cs2
+from ..core import SWEBCluster
+from ..cluster import meiko_cs2
 from ..sim import AllOf, RandomStreams
-from ..web.client import Client
+from ..web import Client
 from ..workload import bimodal_corpus, burst_workload, uniform_sampler
 from .base import ExperimentReport
 from .tables import ComparisonRow, render_table

@@ -15,10 +15,10 @@ columns, made visible.
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
-from ..core.sweb import SWEBCluster
+from ..cluster import meiko_cs2
+from ..core import SWEBCluster
 from ..sim import AllOf, Monitor, RandomStreams, ascii_sparkline
-from ..web.client import Client
+from ..web import Client
 from ..workload import burst_workload, uniform_corpus, uniform_sampler
 from .base import ExperimentReport
 from .tables import ComparisonRow, render_table

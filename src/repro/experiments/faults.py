@@ -20,8 +20,8 @@ client retries demonstrably recover reset/refused connections.
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
-from ..core.costmodel import CostParameters
+from ..cluster import meiko_cs2
+from ..core import CostParameters
 from ..sim import RandomStreams
 from ..workload import bimodal_corpus, burst_workload, uniform_sampler
 from .base import ExperimentReport

@@ -8,11 +8,10 @@ through the simulator and render the sequence.
 
 from __future__ import annotations
 
-from ..core.sweb import SWEBCluster
-from ..cluster.topology import meiko_cs2
+from ..core import SWEBCluster
+from ..cluster import meiko_cs2
 from ..sim import Trace
-from ..web.client import Client, RUTGERS_CLIENT
-from ..web.resolver import AuthoritativeDNS, LocalResolver
+from ..web import AuthoritativeDNS, Client, LocalResolver, RUTGERS_CLIENT
 from .base import ExperimentReport
 from .tables import ComparisonRow, render_table
 

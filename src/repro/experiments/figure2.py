@@ -9,7 +9,7 @@ actually served — the off-diagonal mass *is* the scheduler at work.
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
+from ..cluster import meiko_cs2
 from ..sim import RandomStreams
 from ..workload import bimodal_corpus, burst_workload, uniform_sampler
 from .base import ExperimentReport

@@ -9,8 +9,8 @@ loadd broadcast fabric running underneath.
 
 from __future__ import annotations
 
-from ..core.sweb import SWEBCluster
-from ..cluster.topology import meiko_cs2
+from ..core import SWEBCluster
+from ..cluster import meiko_cs2
 from ..sim import Trace
 from .base import ExperimentReport
 from .tables import ComparisonRow, render_table

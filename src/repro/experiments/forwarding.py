@@ -19,10 +19,9 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from ..core.costmodel import CostParameters
-from ..core.sweb import SWEBCluster
-from ..cluster.topology import meiko_cs2
-from ..web.client import RUTGERS_CLIENT, UCSB_CLIENT
+from ..core import CostParameters, SWEBCluster
+from ..cluster import meiko_cs2
+from ..web import RUTGERS_CLIENT, UCSB_CLIENT
 from .base import ExperimentReport
 from .tables import ComparisonRow, render_table
 

@@ -13,7 +13,7 @@ hierarchy — parsing ≫ monitoring ≫ scheduling — is the reproduced shape.
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
+from ..cluster import meiko_cs2
 from ..sim import RandomStreams
 from ..workload import burst_workload, uniform_corpus, uniform_sampler
 from .base import ExperimentReport

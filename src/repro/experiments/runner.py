@@ -8,62 +8,16 @@ by arrival through simulated clients, waits for every request to finish
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Union
+from dataclasses import dataclass
+from typing import Callable, Optional
 
-from ..cluster.topology import ClusterSpec
-from ..core.costmodel import CostParameters
-from ..core.policies import SchedulingPolicy
-from ..core.sweb import SWEBCluster
-from ..faults import FaultPlan
-from ..sim import AllOf, Summary, Trace
-from ..web.client import Client, ClientProfile, RUTGERS_CLIENT, UCSB_CLIENT
-from ..web.metrics import Metrics
-from ..workload.corpus import Corpus
-from ..workload.generators import Workload
+from ..core import SWEBCluster
+from ..sim import AllOf, Summary
+from ..web import Client, Metrics
+from ..workload import DEFAULT_PROFILES, Scenario
 
-__all__ = ["Scenario", "ScenarioResult", "run_scenario", "find_max_rps"]
-
-#: Default client populations, keyed by the Arrival.client field.
-DEFAULT_PROFILES: dict[str, ClientProfile] = {
-    "ucsb": UCSB_CLIENT,
-    "rutgers": RUTGERS_CLIENT,
-}
-
-
-@dataclass
-class Scenario:
-    """Everything needed to reproduce one experimental cell."""
-
-    name: str
-    spec: ClusterSpec
-    corpus: Corpus
-    workload: Workload
-    policy: Union[str, SchedulingPolicy] = "sweb"
-    seed: int = 0
-    backlog: int = 64
-    client_timeout: float = 120.0
-    dns_ttl: float = 0.0
-    #: number of distinct client hosts per profile.  With ``dns_ttl`` > 0
-    #: each host's resolver pins it to one server node for the TTL — the
-    #: coarse, load-oblivious DNS assignment the paper says "cannot
-    #: predict those changes".  1 host + ttl 0 = idealised per-request
-    #: rotation.
-    hosts_per_profile: int = 1
-    #: route every request through one node's scheduler (the centralized
-    #: design §3.1 rejected); None = distributed (DNS rotation)
-    dispatcher: Optional[int] = None
-    params: Optional[CostParameters] = None
-    #: scheduled faults injected into the run (None = healthy cluster);
-    #: either a FaultPlan or a CLI spec string like "crash:n2@30,partition:10-20"
-    faults: Optional[Union[str, FaultPlan]] = None
-    profiles: dict[str, ClientProfile] = field(
-        default_factory=lambda: dict(DEFAULT_PROFILES))
-    trace: Optional[Trace] = None
-
-    def with_policy(self, policy: str) -> "Scenario":
-        return replace(self, policy=policy,
-                       name=f"{self.name}/{policy}")
+__all__ = ["DEFAULT_PROFILES", "Scenario", "ScenarioResult",
+           "run_scenario", "find_max_rps"]
 
 
 @dataclass

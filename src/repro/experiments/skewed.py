@@ -14,7 +14,7 @@ cost model sees no reason to pile onto the home node).
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
+from ..cluster import meiko_cs2
 from ..workload import burst_workload, hot_file_sampler, single_hot_file
 from .base import ExperimentReport
 from .paper_data import SKEWED_TEST

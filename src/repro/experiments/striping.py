@@ -10,10 +10,10 @@ the sustained throughput under a burst that defeats the page caches.
 
 from __future__ import annotations
 
-from ..core.sweb import SWEBCluster
-from ..cluster.topology import meiko_cs2
+from ..core import SWEBCluster
+from ..cluster import meiko_cs2
 from ..sim import AllOf, RandomStreams
-from ..web.client import Client
+from ..web import Client
 from .base import ExperimentReport
 from .tables import ComparisonRow, render_table
 

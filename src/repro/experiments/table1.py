@@ -13,7 +13,7 @@ sustains ~16 rps on 1.5 MB files (analytic 17.3–17.8).
 
 from __future__ import annotations
 
-from ..cluster.topology import ClusterSpec, meiko_cs2, sun_now
+from ..cluster import ClusterSpec, meiko_cs2, sun_now
 from ..sim import RandomStreams
 from ..workload import burst_workload, uniform_corpus, uniform_sampler
 from .base import ExperimentReport

@@ -15,7 +15,7 @@ Shape expectations (all stated in §4.1):
 
 from __future__ import annotations
 
-from ..cluster.topology import ClusterSpec, meiko_cs2, sun_now
+from ..cluster import ClusterSpec, meiko_cs2, sun_now
 from ..sim import RandomStreams
 from ..workload import burst_workload, uniform_corpus, uniform_sampler
 from .base import ExperimentReport

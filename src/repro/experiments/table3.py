@@ -14,7 +14,7 @@ uneven across nodes.
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
+from ..cluster import meiko_cs2
 from ..sim import RandomStreams
 from ..workload import bimodal_corpus, burst_workload, uniform_sampler
 from .base import ExperimentReport

@@ -13,7 +13,7 @@ the fast fat-tree.
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2, sun_now
+from ..cluster import meiko_cs2, sun_now
 from ..sim import RandomStreams
 from ..workload import burst_workload, uniform_corpus, uniform_sampler
 from .base import ExperimentReport

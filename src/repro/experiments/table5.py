@@ -12,7 +12,7 @@ report the mean per-phase costs measured at the clients.
 
 from __future__ import annotations
 
-from ..cluster.topology import meiko_cs2
+from ..cluster import meiko_cs2
 from ..sim import RandomStreams
 from ..workload import burst_workload, uniform_corpus, uniform_sampler
 from .base import ExperimentReport

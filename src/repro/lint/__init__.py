@@ -1,0 +1,43 @@
+"""sweb-lint: AST-based static analysis enforcing the repo's contracts.
+
+The reproduction's experiments are only comparable across runs and PRs
+because fixed-seed runs are byte-identical (``tests/test_determinism.py``).
+The fingerprint test catches drift *after the fact* and only on covered
+paths; this package stops whole classes of drift *statically*:
+
+* **determinism** — sim-reachable layers must draw time from the engine
+  clock and randomness from :class:`repro.sim.rng.RandomStreams`, never
+  from the wall clock or the global ``random`` module;
+* **layering** — the import DAG of ``docs/ARCHITECTURE.md`` is enforced,
+  and experiments touch subsystems only via public ``__init__`` exports;
+* **I/O hygiene** — no ``print()`` or file writes outside the CLI/report
+  layers;
+* **scheduling misuse** — no direct ``heapq`` manipulation or access to
+  the simulator's private event queue outside ``sim/engine.py``;
+* **docstrings** — every module and public class says what it is for.
+
+Run it as ``sweb-repro lint`` (see :mod:`repro.lint.runner`), suppress a
+single finding with ``# sweb-lint: disable=<rule>`` plus a justification,
+and see ``docs/LINTING.md`` for the full rule catalog.
+"""
+
+from .config import DEFAULT_CONFIG, LAYER_ALLOWED, LAYERS, LintConfig
+from .diagnostics import Diagnostic, suppressions_for
+from .engine import FileContext, iter_python_files, lint_file, run_lint
+from .rules import ALL_RULES, Rule, rules_by_name
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_CONFIG",
+    "Diagnostic",
+    "FileContext",
+    "LAYERS",
+    "LAYER_ALLOWED",
+    "LintConfig",
+    "Rule",
+    "iter_python_files",
+    "lint_file",
+    "run_lint",
+    "rules_by_name",
+    "suppressions_for",
+]

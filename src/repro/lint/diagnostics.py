@@ -1,0 +1,65 @@
+"""Diagnostics and suppression comments for sweb-lint.
+
+A :class:`Diagnostic` is one finding, rendered as ``file:line: rule:
+message`` so editors and CI logs can jump straight to it.  A finding is
+silenced by a ``# sweb-lint: disable=<rule>[,<rule>...]`` comment either
+on the offending line or on a standalone comment line directly above it;
+``disable=all`` silences every rule for that line.  Suppressions are
+meant to carry a one-line justification next to them — the analyzer
+cannot check prose, but review can.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic", "suppressions_for"]
+
+_SUPPRESS_RE = re.compile(r"#\s*sweb-lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pinned to a file, line and rule."""
+
+    path: str        # repo-relative posix path (or absolute if external)
+    line: int        # 1-based line of the offending node
+    rule: str        # rule identifier, e.g. "det-wall-clock"
+    message: str     # human-readable explanation
+
+    def format(self) -> str:
+        """Render as the canonical ``file:line: rule: message`` string."""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def suppressions_for(source: str) -> dict[int, set[str]]:
+    """Map line numbers to the rule names suppressed *at* that line.
+
+    A comment on line N suppresses findings on line N; if the comment is
+    the only thing on its line, it also suppresses findings on line N+1
+    (so a long offending statement can carry its justification above).
+    """
+    suppressed: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        suppressed.setdefault(lineno, set()).update(rules)
+        if text.lstrip().startswith("#"):       # standalone comment line
+            suppressed.setdefault(lineno + 1, set()).update(rules)
+    return suppressed
+
+
+def is_suppressed(diag: Diagnostic,
+                  suppressed: dict[int, set[str]]) -> bool:
+    """True if ``diag`` is silenced by a suppression comment."""
+    rules = suppressed.get(diag.line)
+    if not rules:
+        return False
+    return diag.rule in rules or "all" in rules

@@ -1,0 +1,227 @@
+"""The lint engine: file discovery, AST context, rule dispatch.
+
+One :class:`FileContext` is built per file — path anchoring (repo
+layout, layer, dotted module name), the parsed AST, resolved imports
+(with ``TYPE_CHECKING`` blocks marked), and an alias map so rules can
+resolve a call like ``np.random.default_rng(...)`` to its canonical
+dotted name ``numpy.random.default_rng`` regardless of how the module
+was imported.  :func:`run_lint` drives every registered rule over every
+file and filters findings through suppression comments and the config
+allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .diagnostics import Diagnostic, is_suppressed, suppressions_for
+
+__all__ = ["FileContext", "ImportedModule", "iter_python_files",
+           "lint_file", "run_lint", "REPO_ROOT"]
+
+#: repository root (src/repro/lint/engine.py -> three parents up from src)
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+@dataclass(frozen=True)
+class ImportedModule:
+    """One import statement target, resolved to an absolute dotted path."""
+
+    module: str            # e.g. "repro.core.costmodel" or "heapq"
+    lineno: int
+    type_checking: bool    # inside an ``if TYPE_CHECKING:`` block
+
+
+def _anchor_parts(path: Path) -> Optional[tuple[str, ...]]:
+    """Path parts from the last ``repro``/``scripts`` component onward.
+
+    Works both for real repo files and for fixture trees that mimic the
+    layout under a temporary directory.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] in ("repro", "scripts"):
+            return parts[i:]
+    return None
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """Recognise ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    relpath: str                  # repo-relative posix path when anchorable
+    module: str                   # dotted module name, e.g. "repro.sim.engine"
+    layer: Optional[str]          # "sim", ..., "" (top-level), "scripts", None
+    tree: ast.Module
+    source: str
+    config: LintConfig
+    imports: list[ImportedModule] = field(default_factory=list)
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: Path, config: LintConfig) -> "FileContext":
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        anchored = _anchor_parts(path)
+        if anchored is None:
+            relpath = path.as_posix()
+            module_parts: tuple[str, ...] = (path.stem,)
+            layer = None
+        elif anchored[0] == "scripts":
+            relpath = "/".join(anchored)
+            module_parts = (path.stem,)
+            layer = "scripts"
+        else:
+            relpath = "src/" + "/".join(anchored)
+            stems = anchored[:-1] + ((path.stem,)
+                                     if path.stem != "__init__" else ())
+            module_parts = tuple(stems)
+            inner = anchored[1:]
+            layer = inner[0] if len(inner) > 1 else ""
+        ctx = cls(path=path, relpath=relpath,
+                  module=".".join(module_parts), layer=layer,
+                  tree=tree, source=source, config=config)
+        ctx._collect_imports()
+        return ctx
+
+    # -- imports ------------------------------------------------------------
+    @property
+    def _package_parts(self) -> tuple[str, ...]:
+        parts = tuple(self.module.split("."))
+        if self.path.stem == "__init__":
+            return parts
+        return parts[:-1]
+
+    def _resolve_relative(self, level: int, module: Optional[str]) -> str:
+        base = self._package_parts
+        if level > 1:
+            base = base[:len(base) - (level - 1)]
+        target = list(base)
+        if module:
+            target.extend(module.split("."))
+        return ".".join(target)
+
+    def _collect_imports(self) -> None:
+        def visit(nodes: Iterable[ast.stmt], type_checking: bool) -> None:
+            for node in nodes:
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        self.imports.append(ImportedModule(
+                            alias.name, node.lineno, type_checking))
+                        local = alias.asname or alias.name.split(".")[0]
+                        self.aliases[local] = (alias.name if alias.asname
+                                               else alias.name.split(".")[0])
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level:
+                        target = self._resolve_relative(node.level,
+                                                        node.module)
+                    else:
+                        target = node.module or ""
+                    if target:
+                        self.imports.append(ImportedModule(
+                            target, node.lineno, type_checking))
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        local = alias.asname or alias.name
+                        self.aliases[local] = f"{target}.{alias.name}"
+                elif (isinstance(node, ast.If)
+                        and _is_type_checking_test(node.test)):
+                    visit(node.body, True)
+                    visit(node.orelse, type_checking)
+                else:
+                    for child in ast.iter_child_nodes(node):
+                        if isinstance(child, ast.stmt):
+                            visit([child], type_checking)
+                        elif isinstance(child, ast.excepthandler):
+                            visit(child.body, type_checking)
+
+        visit(self.tree.body, False)
+
+    # -- call resolution ----------------------------------------------------
+    def dotted_name(self, node: ast.expr) -> Optional[str]:
+        """``a.b.c`` for a Name/Attribute chain, with aliases resolved."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.aliases.get(parts[0])
+        if head is not None:
+            parts[0:1] = head.split(".")
+        return ".".join(parts)
+
+    def calls(self) -> Iterator[tuple[ast.Call, Optional[str]]]:
+        """Every Call node, paired with its resolved dotted name."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                yield node, self.dotted_name(node.func)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_file(path: Union[str, Path],
+              rules: Optional[Sequence] = None,
+              config: Optional[LintConfig] = None) -> list[Diagnostic]:
+    """Run the given rules (default: all) over one file."""
+    from .rules import ALL_RULES
+    config = config or DEFAULT_CONFIG
+    rules = list(rules) if rules is not None else list(ALL_RULES)
+    path = Path(path)
+    try:
+        ctx = FileContext.build(path, config)
+    except SyntaxError as exc:
+        return [Diagnostic(str(path), exc.lineno or 1, "parse-error",
+                           f"cannot parse: {exc.msg}")]
+    suppressed = suppressions_for(ctx.source)
+    out: list[Diagnostic] = []
+    for rule in rules:
+        if config.allows(rule.name, ctx.relpath):
+            continue
+        for diag in rule.check(ctx):
+            if not is_suppressed(diag, suppressed):
+                out.append(diag)
+    return sorted(out, key=lambda d: (d.path, d.line, d.rule))
+
+
+def run_lint(paths: Optional[Sequence[Union[str, Path]]] = None,
+             rules: Optional[Sequence] = None,
+             config: Optional[LintConfig] = None) -> list[Diagnostic]:
+    """Lint files/dirs (default: the repo's ``src/`` and ``scripts/``).
+
+    Returns every unsuppressed finding, sorted by path, line and rule.
+    """
+    if paths is None:
+        paths = [REPO_ROOT / "src", REPO_ROOT / "scripts"]
+    out: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        out.extend(lint_file(path, rules=rules, config=config))
+    return sorted(out, key=lambda d: (d.path, d.line, d.rule))

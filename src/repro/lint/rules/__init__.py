@@ -1,0 +1,27 @@
+"""The sweb-lint rule registry.
+
+Each rule module contributes a family; ``ALL_RULES`` is the flat,
+ordered registry the engine and the CLI use.  Adding a rule = write a
+:class:`~repro.lint.rules.base.Rule` subclass, instantiate it in its
+family's ``RULES`` tuple, and document it in ``docs/LINTING.md``.
+"""
+
+from .base import Rule
+from .determinism import RULES as DETERMINISM_RULES
+from .docstrings import RULES as DOCSTRING_RULES
+from .iohygiene import RULES as IO_RULES
+from .layering import RULES as LAYERING_RULES
+from .scheduling import RULES as SCHEDULING_RULES
+
+__all__ = ["ALL_RULES", "Rule", "rules_by_name"]
+
+#: every registered rule, in report order
+ALL_RULES: tuple[Rule, ...] = (
+    DETERMINISM_RULES + LAYERING_RULES + IO_RULES + SCHEDULING_RULES
+    + DOCSTRING_RULES
+)
+
+
+def rules_by_name() -> dict[str, Rule]:
+    """Registry keyed by rule identifier."""
+    return {rule.name: rule for rule in ALL_RULES}

@@ -1,0 +1,33 @@
+"""Base class shared by every sweb-lint rule."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..diagnostics import Diagnostic
+
+if TYPE_CHECKING:
+    from ..engine import FileContext
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """One named check over a :class:`~repro.lint.engine.FileContext`.
+
+    Subclasses set :attr:`name` (the identifier used in diagnostics,
+    suppression comments and the allowlist) and :attr:`summary` (one
+    line for ``sweb-repro lint --list-rules``), and implement
+    :meth:`check` as a generator of diagnostics.
+    """
+
+    name: str = ""
+    summary: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: "FileContext", line: int,
+             message: str) -> Diagnostic:
+        """Build a diagnostic for this rule at ``line`` of the file."""
+        return Diagnostic(ctx.relpath, line, self.name, message)

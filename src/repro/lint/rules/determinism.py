@@ -1,0 +1,129 @@
+"""Determinism rules: sim-reachable code must be exactly replayable.
+
+The §3 cost-model experiments are only comparable across runs and PRs
+because fixed-seed runs are byte-identical.  That breaks the moment any
+sim-reachable layer (``sim``, ``cluster``, ``core``, ``web``,
+``faults``) reads the wall clock, sleeps the host, or draws from the
+process-global ``random`` module instead of the engine clock
+(``sim.now``) and the seeded :class:`repro.sim.rng.RandomStreams`
+substreams.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from .base import Rule
+
+if TYPE_CHECKING:
+    from ..diagnostics import Diagnostic
+    from ..engine import FileContext
+
+__all__ = ["RULES"]
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+class _DeterminismRule(Rule):
+    """Shared scoping: only sim-reachable layers are checked."""
+
+    def applies(self, ctx: "FileContext") -> bool:
+        return ctx.layer in ctx.config.determinism_layers
+
+
+class WallClockRule(_DeterminismRule):
+    """No wall-clock reads: simulated time comes from ``sim.now``."""
+
+    name = "det-wall-clock"
+    summary = ("no time.time()/datetime.now() etc. in sim-reachable code; "
+               "use the engine clock (sim.now)")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if not self.applies(ctx):
+            return
+        for node, dotted in ctx.calls():
+            if dotted in _WALL_CLOCK_CALLS:
+                yield self.diag(ctx, node.lineno,
+                                f"wall-clock read {dotted}(); sim-reachable "
+                                f"code must use the engine clock (sim.now)")
+
+
+class SleepRule(_DeterminismRule):
+    """No host sleeps: waiting is ``yield sim.timeout(...)``."""
+
+    name = "det-sleep"
+    summary = "no time.sleep() in sim-reachable code; yield sim.timeout()"
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if not self.applies(ctx):
+            return
+        for node, dotted in ctx.calls():
+            if dotted == "time.sleep":
+                yield self.diag(ctx, node.lineno,
+                                "time.sleep() stalls the host, not the "
+                                "simulation; yield sim.timeout(delay)")
+
+
+class GlobalRandomRule(_DeterminismRule):
+    """No process-global ``random`` module anywhere sim-reachable."""
+
+    name = "det-global-random"
+    summary = ("no global random module in sim-reachable code; draw from "
+               "repro.sim.rng.RandomStreams")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if not self.applies(ctx):
+            return
+        for imp in ctx.imports:
+            if imp.module == "random" or imp.module.startswith("random."):
+                yield self.diag(ctx, imp.lineno,
+                                "imports the global random module; all "
+                                "randomness must flow through seeded "
+                                "RandomStreams substreams")
+        for node, dotted in ctx.calls():
+            if dotted and dotted.startswith("random."):
+                yield self.diag(ctx, node.lineno,
+                                f"{dotted}() draws from process-global "
+                                f"state; use RandomStreams")
+
+
+class UrandomRule(_DeterminismRule):
+    """No OS entropy."""
+
+    name = "det-urandom"
+    summary = "no os.urandom() in sim-reachable code"
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if not self.applies(ctx):
+            return
+        for node, dotted in ctx.calls():
+            if dotted == "os.urandom":
+                yield self.diag(ctx, node.lineno,
+                                "os.urandom() is irreproducible entropy; "
+                                "use RandomStreams")
+
+
+class ForeignRngRule(_DeterminismRule):
+    """Raw numpy generators bypass the named-substream discipline."""
+
+    name = "det-foreign-rng"
+    summary = ("no direct numpy.random outside repro.sim.rng; ask "
+               "RandomStreams for a named substream")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if not self.applies(ctx):
+            return
+        for node, dotted in ctx.calls():
+            if dotted and dotted.startswith("numpy.random."):
+                yield self.diag(ctx, node.lineno,
+                                f"{dotted}() creates an unmanaged generator; "
+                                f"only repro.sim.rng may touch numpy.random")
+
+
+RULES = (WallClockRule(), SleepRule(), GlobalRandomRule(), UrandomRule(),
+         ForeignRngRule())

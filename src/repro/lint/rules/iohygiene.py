@@ -1,0 +1,88 @@
+"""I/O hygiene rules: the library computes, the edges talk.
+
+Only the CLI, the bench harness, the report generator, helper scripts
+and the lint runner may print or write files; everything else returns
+data.  This keeps library output machine-consumable and the simulator
+free of hidden host-filesystem state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .base import Rule
+
+if TYPE_CHECKING:
+    from ..diagnostics import Diagnostic
+    from ..engine import FileContext
+
+__all__ = ["RULES"]
+
+_WRITE_MODE_CHARS = set("wax+")
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+_WRITE_CALLS = frozenset({
+    "os.remove", "os.unlink", "os.rename", "os.makedirs", "os.mkdir",
+    "shutil.rmtree", "shutil.copy", "shutil.copyfile", "shutil.move",
+})
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode argument of an ``open()`` call, if present."""
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    else:
+        mode = next((kw.value for kw in node.keywords
+                     if kw.arg == "mode"), None)
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None        # dynamic mode: treat as a potential write
+
+
+class PrintRule(Rule):
+    """No ``print()`` outside the allowlisted edges."""
+
+    name = "io-print"
+    summary = ("no print() outside cli.py/bench.py/experiments/report.py/"
+               "scripts/; return data instead")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if ctx.layer is None:
+            return
+        for node, dotted in ctx.calls():
+            if dotted == "print":
+                yield self.diag(ctx, node.lineno,
+                                "print() in library code; return data and "
+                                "let the CLI/report layer render it")
+
+
+class FileWriteRule(Rule):
+    """No filesystem writes outside the allowlisted edges."""
+
+    name = "io-file-write"
+    summary = ("no file writes (open('w'), write_text, os/shutil mutation) "
+               "outside the allowlisted edges")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if ctx.layer is None:
+            return
+        for node, dotted in ctx.calls():
+            if dotted == "open":
+                mode = _open_mode(node)
+                if mode is None or _WRITE_MODE_CHARS & set(mode):
+                    yield self.diag(ctx, node.lineno,
+                                    "open() for writing in library code")
+            elif dotted in _WRITE_CALLS:
+                yield self.diag(ctx, node.lineno,
+                                f"filesystem mutation {dotted}() in "
+                                f"library code")
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _WRITE_METHODS):
+                yield self.diag(ctx, node.lineno,
+                                f".{node.func.attr}() writes a file in "
+                                f"library code")
+
+
+RULES = (PrintRule(), FileWriteRule())

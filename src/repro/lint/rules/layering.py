@@ -1,0 +1,87 @@
+"""Layering rules: the import DAG of ``docs/ARCHITECTURE.md``, enforced.
+
+``sim → cluster → {faults, web} → core → workload → experiments``: each
+layer imports only layers strictly below it, and the experiments layer
+touches subsystems only through their public ``__init__`` exports, so a
+package's module layout can change without breaking every table and
+figure.  ``TYPE_CHECKING``-gated imports are exempt — they are typing
+only and cannot affect runtime behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .base import Rule
+
+if TYPE_CHECKING:
+    from ..diagnostics import Diagnostic
+    from ..engine import FileContext
+
+__all__ = ["RULES"]
+
+
+def _repro_target(module: str) -> Optional[list[str]]:
+    """Split a dotted target into parts if it is inside the repro package."""
+    parts = module.split(".")
+    return parts if parts[0] == "repro" else None
+
+
+class LayerImportRule(Rule):
+    """Runtime imports must follow the layer DAG."""
+
+    name = "layer-import"
+    summary = ("layers import only the layers below them (sim -> cluster "
+               "-> {faults, web} -> core -> workload -> experiments)")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        allowed = ctx.config.layer_allowed.get(ctx.layer or "")
+        if allowed is None:          # side module / scripts / external file
+            return
+        for imp in ctx.imports:
+            if imp.type_checking:
+                continue
+            parts = _repro_target(imp.module)
+            if parts is None:
+                continue
+            if len(parts) == 1:
+                yield self.diag(ctx, imp.lineno,
+                                f"layer '{ctx.layer}' imports the repro "
+                                f"package root, which aggregates every layer")
+                continue
+            target = parts[1]
+            if target == ctx.layer or target in allowed:
+                continue
+            if target in ctx.config.layer_allowed:
+                yield self.diag(ctx, imp.lineno,
+                                f"layer '{ctx.layer}' must not import "
+                                f"'repro.{target}' (allowed: "
+                                f"{', '.join(sorted(allowed)) or 'none'})")
+            else:
+                yield self.diag(ctx, imp.lineno,
+                                f"layer '{ctx.layer}' must not import the "
+                                f"side module 'repro.{target}'")
+
+
+class DeepImportRule(Rule):
+    """Experiments use public ``__init__`` exports, not submodules."""
+
+    name = "layer-deep-import"
+    summary = ("experiments import subsystems via their public __init__ "
+               "exports, never from submodules")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if ctx.layer != "experiments":
+            return
+        for imp in ctx.imports:
+            if imp.type_checking:
+                continue
+            parts = _repro_target(imp.module)
+            if (parts and len(parts) >= 3 and parts[1] != "experiments"
+                    and parts[1] in ctx.config.layer_allowed):
+                yield self.diag(ctx, imp.lineno,
+                                f"deep import of '{imp.module}'; use the "
+                                f"public exports of 'repro.{parts[1]}'")
+
+
+RULES = (LayerImportRule(), DeepImportRule())

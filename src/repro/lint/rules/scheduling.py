@@ -1,0 +1,68 @@
+"""Scheduling-misuse rules: only the engine touches the event heap.
+
+The PR-2 performance pass inlined the run loop and exposed how easy it
+is to "help" the scheduler from outside — pushing onto the simulator's
+queue directly, or re-sorting it with ``heapq`` — which silently breaks
+the ``(time, priority, seq)`` determinism contract.  Everything must go
+through the public ``Simulator`` API (``spawn``/``timeout``/``defer``/
+``schedule``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import Rule
+
+if TYPE_CHECKING:
+    from ..diagnostics import Diagnostic
+    from ..engine import FileContext
+
+__all__ = ["RULES"]
+
+#: private engine attributes nothing outside sim/engine.py may touch
+_ENGINE_INTERNALS = frozenset({"_queue", "_heap", "_cb_pool"})
+
+
+class HeapqRule(Rule):
+    """No direct ``heapq`` use outside the engine."""
+
+    name = "sched-heapq"
+    summary = "no heapq import/use outside sim/engine.py"
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if ctx.layer is None:
+            return
+        for imp in ctx.imports:
+            if imp.module == "heapq":
+                yield self.diag(ctx, imp.lineno,
+                                "imports heapq; event ordering belongs to "
+                                "sim/engine.py (use Simulator.spawn/timeout/"
+                                "defer/schedule)")
+        for node, dotted in ctx.calls():
+            if dotted and dotted.startswith("heapq."):
+                yield self.diag(ctx, node.lineno,
+                                f"{dotted}() manipulates a heap directly; "
+                                f"only sim/engine.py owns event ordering")
+
+
+class EngineInternalsRule(Rule):
+    """No reaching into the simulator's private event queue."""
+
+    name = "sched-engine-internals"
+    summary = ("no access to the simulator's private event queue "
+               "(_queue/_heap/_cb_pool) outside sim/engine.py")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if ctx.layer is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in _ENGINE_INTERNALS):
+                yield self.diag(ctx, node.lineno,
+                                f"touches engine internal '.{node.attr}'; "
+                                f"use the public Simulator API")
+
+
+RULES = (HeapqRule(), EngineInternalsRule())

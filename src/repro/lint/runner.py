@@ -1,0 +1,58 @@
+"""The ``sweb-repro lint`` entry point.
+
+Runs every registered rule over ``src/`` and ``scripts/`` (or explicit
+paths), prints ``file:line: rule: message`` diagnostics, and exits
+non-zero when anything is found.  ``--types`` additionally runs the
+optional mypy pass (strict on ``repro.sim`` and ``repro.core``, see
+``pyproject.toml``); when mypy is not installed the pass is skipped
+with a notice rather than failing, so the analyzer has no hard
+dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from typing import Optional, Sequence
+
+from .engine import REPO_ROOT, run_lint
+from .rules import ALL_RULES
+
+__all__ = ["run_cli", "run_types_pass"]
+
+#: trees the strict mypy pass covers (mirrors [tool.mypy] in pyproject.toml)
+MYPY_TARGETS = ("src/repro/sim", "src/repro/core")
+
+
+def run_types_pass() -> int:
+    """Run mypy over the strict trees; skip gracefully if unavailable."""
+    if importlib.util.find_spec("mypy") is None:
+        print("lint: --types skipped: mypy is not installed "
+              "(pip install mypy)", file=sys.stderr)
+        return 0
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *MYPY_TARGETS],
+        cwd=REPO_ROOT)
+    return proc.returncode
+
+
+def run_cli(paths: Optional[Sequence[str]] = None,
+            types: bool = False,
+            list_rules: bool = False) -> int:
+    """Drive one lint run; returns the process exit code."""
+    if list_rules:
+        width = max(len(rule.name) for rule in ALL_RULES)
+        for rule in ALL_RULES:
+            print(f"{rule.name:<{width}}  {rule.summary}")
+        return 0
+    diagnostics = run_lint(paths=paths or None)
+    for diag in diagnostics:
+        print(diag.format())
+    status = 0
+    if diagnostics:
+        print(f"{len(diagnostics)} lint problem(s)", file=sys.stderr)
+        status = 1
+    if types:
+        status = max(status, run_types_pass())
+    return status

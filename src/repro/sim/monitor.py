@@ -8,11 +8,11 @@ terminal charts for the examples and reports.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 import numpy as np
 
-from .engine import Simulator
+from .engine import Event, Process, Simulator
 
 __all__ = ["Monitor", "ascii_series", "ascii_sparkline"]
 
@@ -40,13 +40,13 @@ class Monitor:
         self.samples[name] = []
         return self
 
-    def start(self):
+    def start(self) -> Process:
         """Spawn the sampling process."""
         if self._proc is None:
             self._proc = self.sim.spawn(self._run(), name="monitor")
         return self._proc
 
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         while True:
             self.times.append(self.sim.now)
             for name, fn in self._probes.items():
@@ -81,7 +81,7 @@ class Monitor:
         return "\n".join(lines)
 
 
-def ascii_sparkline(values, width: int = 60) -> str:
+def ascii_sparkline(values: Iterable[float], width: int = 60) -> str:
     """Compress a series into a fixed-width block-character sparkline."""
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
@@ -98,7 +98,7 @@ def ascii_sparkline(values, width: int = 60) -> str:
     return "".join(_BLOCKS[int(round(s))] for s in scaled)
 
 
-def ascii_series(values, height: int = 8, width: int = 60,
+def ascii_series(values: Iterable[float], height: int = 8, width: int = 60,
                  label: str = "") -> str:
     """A multi-line bar chart of a series (rows = magnitude bands)."""
     arr = np.asarray(list(values), dtype=float)

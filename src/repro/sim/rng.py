@@ -9,7 +9,7 @@ replayable.
 from __future__ import annotations
 
 import zlib
-from typing import Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -53,7 +53,8 @@ class RandomStreams:
     def integers(self, name: str, low: int, high: int) -> int:
         return int(self.stream(name).integers(low, high))
 
-    def choice(self, name: str, seq, p=None):
+    def choice(self, name: str, seq: Sequence[Any],
+               p: Optional[Sequence[float]] = None) -> Any:
         idx = self.stream(name).choice(len(seq), p=p)
         return seq[int(idx)]
 

@@ -69,6 +69,11 @@ class HTTPServer:
         if backlog < 1:
             raise ValueError(f"backlog must be >= 1, got {backlog}")
         if params is None:
+            # Intentional upward reach: the httpd's tuning knobs live in
+            # core's CostParameters; this lazy default keeps standalone
+            # HTTPServer construction working without a hard web->core
+            # module-load dependency (SWEBCluster always passes params).
+            # sweb-lint: disable=layer-import
             from ..core.costmodel import CostParameters
             params = CostParameters()
         self.sim = sim
