@@ -9,6 +9,8 @@ Layers (bottom-up):
   stations, deterministic RNG, metrics, tracing);
 * :mod:`repro.cluster` — the hardware: nodes, disks, page caches, the
   Meiko fat-tree / NOW Ethernet, NFS, WAN paths;
+* :mod:`repro.cache` — cooperative caching: the cluster-wide cache
+  directory, per-file heat counters, hot-file replication;
 * :mod:`repro.web` — HTTP, round-robin DNS, CGI, clients, the httpd;
 * :mod:`repro.core` — SWEB itself: broker, oracle, loadd, the
   multi-faceted cost model, the scheduling policies, the §3.3 analysis,

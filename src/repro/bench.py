@@ -15,7 +15,9 @@ Phases (see :data:`PHASES`):
 * ``process_spawn``   — spawn/resume cost: N short-lived processes;
 * ``fair_share``      — water-filling reallocation under job churn;
 * ``trace_disabled``  — cost of a gated-off :class:`~repro.sim.Trace`;
-* ``end_to_end``      — the full SWEB stack serving a request stream.
+* ``end_to_end``      — the full SWEB stack serving a request stream;
+* ``coop_broker``     — cache-aware broker decisions against a seeded
+  cooperative-cache directory (the repro.cache hot path).
 
 ``run_bench(profile=True)`` additionally runs each phase under
 :mod:`cProfile` and reports the hottest functions plus a per-subsystem
@@ -143,6 +145,37 @@ def _phase_end_to_end(scale: float) -> tuple[int, str, dict[str, Any]]:
     }
 
 
+def _phase_coop_broker(scale: float) -> tuple[int, str, dict[str, Any]]:
+    from .cache import CacheReport
+    from .cluster import meiko_cs2
+    from .core import CostParameters
+    from .core.sweb import SWEBCluster
+
+    n = max(1, int(3_000 * scale))
+    cluster = SWEBCluster(
+        meiko_cs2(6), policy="sweb", seed=1, start_loadd=False,
+        params=CostParameters(coop_cache=True, cache_hot_set=16))
+    for i in range(16):
+        cluster.add_file(f"/hot{i}.gif", 3e6, home=0)
+    # Seed every directory with synthetic peer reports so choose_server
+    # exercises the cache-aware t_data path (directory lookup per
+    # candidate), not just the plain cost loop.
+    for node_id, directory in cluster.directories.items():
+        for peer in range(6):
+            if peer == node_id:
+                continue
+            paths = tuple(f"/hot{i}.gif" for i in range(peer, 16, 6))
+            directory.update(CacheReport(node=peer, paths=paths,
+                                         timestamp=0.0))
+    brokers = list(cluster.brokers.values())
+    decisions = 0
+    for i in range(n):
+        broker = brokers[i % len(brokers)]
+        broker.choose_server(f"/hot{i % 16}.gif", client_latency=0.01)
+        decisions += 1
+    return decisions, "decisions", {"nodes": 6, "hot_files": 16}
+
+
 #: Ordered registry: phase name -> body.  ``bench_compare`` diffs by name.
 PHASES: dict[str, Callable[[float], tuple[int, str, dict[str, Any]]]] = {
     "timeout_chain": _phase_timeout_chain,
@@ -150,10 +183,12 @@ PHASES: dict[str, Callable[[float], tuple[int, str, dict[str, Any]]]] = {
     "fair_share": _phase_fair_share,
     "trace_disabled": _phase_trace_disabled,
     "end_to_end": _phase_end_to_end,
+    "coop_broker": _phase_coop_broker,
 }
 
-_SUBSYSTEMS = ("repro/sim", "repro/cluster", "repro/web", "repro/core",
-               "repro/faults", "repro/workload", "repro/experiments")
+_SUBSYSTEMS = ("repro/sim", "repro/cluster", "repro/cache", "repro/web",
+               "repro/core", "repro/faults", "repro/workload",
+               "repro/experiments")
 
 
 # ---------------------------------------------------------------------------

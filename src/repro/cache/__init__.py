@@ -1,0 +1,38 @@
+"""Cooperative caching: the cluster-wide view of every node's RAM.
+
+§4.1 attributes SWEB's superlinear speedup to aggregate cluster memory,
+yet the scheduler itself is blind to *where* files are resident: the
+:class:`~repro.cluster.memory.PageCache` is node-local state and the
+cost model's ``t_data`` term only distinguishes disk from NFS.  This
+package closes that gap with three cooperating parts:
+
+* :class:`CacheDirectory` — each node's (stale-tolerant) picture of
+  which files its peers hold in RAM, fed by :class:`CacheReport`
+  summaries piggybacked on the periodic loadd broadcasts and aged out
+  by a TTL so muted or partitioned peers disappear from the directory
+  exactly as they disappear from the load view;
+* :class:`FileHeat` — per-file request counters that expose the Zipf
+  hot set of a running workload;
+* :class:`ReplicationDaemon` — a periodic process that detects skew in
+  the heat counters and proactively copies hot documents into
+  underloaded peers' caches over the *real* simulated interconnect,
+  paying the transfer cost the CDN literature trades against load
+  balance (arXiv:1610.04513, arXiv:1009.4563).
+
+The consumers live one layer up: ``core.loadd`` ships the reports,
+``core.costmodel`` prices a RAM-resident candidate at memory-copy
+bandwidth (LARD-style locality awareness), and ``core.sweb`` wires the
+daemon.  See ``docs/CACHING.md``.
+"""
+
+from .directory import CacheDirectory, CacheReport, hot_set
+from .replication import ReplicationDaemon
+from .stats import FileHeat
+
+__all__ = [
+    "CacheDirectory",
+    "CacheReport",
+    "FileHeat",
+    "ReplicationDaemon",
+    "hot_set",
+]

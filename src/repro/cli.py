@@ -50,6 +50,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--graceful", action="store_true",
                        help="enable graceful degradation (client retries, "
                             "stale-load fallback, suspicion filtering)")
+    serve.add_argument("--coop-cache", action="store_true",
+                       help="cooperative caching: loadd piggybacks each "
+                            "node's hot cached-file set and the broker "
+                            "prices RAM-resident candidates at memory "
+                            "bandwidth (docs/CACHING.md)")
+    serve.add_argument("--replicate", action="store_true",
+                       help="proactively replicate Zipf-hot files to "
+                            "underloaded peers (implies --coop-cache)")
+    serve.add_argument("--zipf", type=float, metavar="ALPHA", default=None,
+                       help="use a Zipf(ALPHA) popularity distribution "
+                            "instead of uniform sampling")
 
     bench = sub.add_parser(
         "bench", help="benchmark the simulation kernel and the full stack")
@@ -145,7 +156,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .experiments.runner import Scenario, run_scenario
     from .faults import FaultPlan, FaultSpecError
     from .sim import RandomStreams
-    from .workload import burst_workload, uniform_corpus, uniform_sampler
+    from .workload import (burst_workload, uniform_corpus, uniform_sampler,
+                           zipf_sampler)
 
     plan = None
     if args.faults:
@@ -157,13 +169,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
     spec = (meiko_cs2 if args.testbed == "meiko" else sun_now)(args.nodes)
     corpus = uniform_corpus(args.files, args.file_size, args.nodes)
-    sampler = uniform_sampler(corpus, RandomStreams(seed=42))
+    rng = RandomStreams(seed=42)
+    if args.zipf is not None:
+        sampler = zipf_sampler(corpus, rng, alpha=args.zipf)
+    else:
+        sampler = uniform_sampler(corpus, rng)
     workload = burst_workload(args.rps, args.duration, sampler)
+    coop = args.coop_cache or args.replicate
     scenario = Scenario(name="cli", spec=spec, corpus=corpus,
                         workload=workload, policy=args.policy,
                         seed=args.seed,
                         params=CostParameters(
-                            graceful_degradation=args.graceful),
+                            graceful_degradation=args.graceful,
+                            coop_cache=coop,
+                            replicate=args.replicate),
                         faults=plan)
     result = run_scenario(scenario)
     print(result.summary_line())
@@ -171,8 +190,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"response: mean {summary.mean:.3f}s p50 {summary.p50:.3f}s "
           f"p90 {summary.p90:.3f}s p99 {summary.p99:.3f}s")
     print(f"redirected: {result.redirection_rate:.1%}, "
-          f"cache hits: {result.cache_hit_rate():.1%}, "
           f"remote reads: {result.remote_read_fraction():.1%}")
+    # Two different caches are in play; label each unambiguously.
+    totals = result.metrics.page_cache_totals()
+    line = (f"page cache (RAM): {result.cache_hit_rate():.1%} hit rate "
+            f"({totals['hits']:.0f} hits / {totals['misses']:.0f} misses, "
+            f"{totals['evictions']:.0f} evictions)")
+    if result.replications:
+        line += f", {result.replications} hot-file replications"
+    print(line)
+    print(f"dns cache (client TTL): {result.dns_cache_hit_rate():.1%} "
+          f"hit rate")
     print("cpu shares: " + ", ".join(
         f"{k} {v:.2%}" for k, v in sorted(result.cpu_shares().items())))
     if result.injector is not None:

@@ -6,6 +6,12 @@ access pays a protocol penalty on top of the raw transfer: ~10 % on the
 Meiko's fat-tree, 50–70 % on the NOW's Ethernet (§3.2, measured by the
 authors).  Reads go through the *home* node's page cache, so a popular
 file served remotely still benefits from the home node's RAM.
+
+When the replication daemon (repro.cache) has planted copies in other
+nodes' page caches, reads additionally prefer any cache-resident copy
+over the home disk: a peer's RAM plus one fabric hop is far cheaper than
+a 5 MB/s disk (the xFS/GMS remote-memory observation).  Plain runs never
+create such copies, so their event schedules are untouched.
 """
 
 from __future__ import annotations
@@ -67,6 +73,11 @@ class DistributedFileSystem:
         self._files: dict[str, FileMeta] = {}
         self.remote_reads = 0
         self.local_reads = 0
+        #: local reads satisfied by a replicated (non-home) cache copy
+        self.replica_reads = 0
+        #: home-cache misses served from a peer's cached replica instead
+        #: of the home disk (cooperative-cache fast path)
+        self.peer_cache_reads = 0
 
     # -- namespace -----------------------------------------------------------
     def add_file(self, path: str, size: float, home: int) -> FileMeta:
@@ -143,8 +154,26 @@ class DistributedFileSystem:
         if meta.is_striped:
             return self._read_striped(meta, at_node)
         home_node = self.nodes[meta.home]
+        reader = self.nodes[at_node]
         done = Event(self.sim)
         remote = meta.home != at_node
+        # A replication-daemon copy in the reading node's own cache turns
+        # a would-be NFS read into a local memory-speed hit (the whole
+        # point of proactive replication).  Plain runs never take this
+        # branch: demand fills only populate the *home* cache.
+        if remote and path in reader.cache:
+            self.local_reads += 1
+            self.replica_reads += 1
+            reader.cache.lookup(path)
+
+            def pump_replica():
+                yield reader.read_from_cache(meta.size, tag=path)
+                done.succeed(ReadOutcome(path=path, nbytes=meta.size,
+                                         source="cache", remote=False,
+                                         home=meta.home))
+
+            self.sim.spawn(pump_replica(), name=f"fs.read:{path}")
+            return done
         if remote:
             self.remote_reads += 1
         else:
@@ -156,6 +185,22 @@ class DistributedFileSystem:
                 source = "cache"
                 yield home_node.read_from_cache(meta.size, tag=path)
             else:
+                holder = self._cached_peer(meta, at_node)
+                if holder is not None:
+                    # Cooperative-cache fast path: a peer's cached replica
+                    # plus one fabric hop beats the home disk.  Only the
+                    # replication daemon creates non-home copies, so plain
+                    # runs never reach this branch.
+                    self.peer_cache_reads += 1
+                    holder.cache.lookup(path)
+                    yield holder.read_from_cache(meta.size, tag=path)
+                    wire = meta.size * (1.0 + self.remote_penalty)
+                    yield self.network.transfer(holder.id, at_node, wire,
+                                                tag=path)
+                    done.succeed(ReadOutcome(path=path, nbytes=meta.size,
+                                             source="cache", remote=True,
+                                             home=meta.home))
+                    return
                 source = "disk"
                 yield home_node.disk.read(meta.size, tag=path)
                 home_node.cache.insert(path, meta.size)
@@ -168,6 +213,22 @@ class DistributedFileSystem:
 
         self.sim.spawn(pump(), name=f"fs.read:{path}")
         return done
+
+    def _cached_peer(self, meta: FileMeta, at_node: int) -> Optional[Node]:
+        """Least-loaded alive node, other than home and reader, whose page
+        cache holds the file (ties break on node id).  ``None`` when no
+        replica exists — the overwhelmingly common case."""
+        best: Optional[Node] = None
+        best_key: Optional[tuple[float, int]] = None
+        for node in self.nodes:
+            if node.id == meta.home or node.id == at_node or not node.alive:
+                continue
+            if meta.path not in node.cache:
+                continue
+            key = (float(self.network.node_load(node.id)), node.id)
+            if best_key is None or key < best_key:
+                best, best_key = node, key
+        return best
 
     def _read_striped(self, meta: FileMeta, at_node: int) -> Event:
         """Parallel chunk reads from every stripe disk.

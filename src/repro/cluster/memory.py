@@ -54,6 +54,15 @@ class PageCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def entries(self) -> list[tuple[str, float]]:
+        """Resident ``(path, size)`` pairs in LRU order (oldest first).
+
+        The cooperative-cache directory samples this to build its
+        bytes·recency hot set; reading it has no side effects on LRU
+        order or the hit/miss counters.
+        """
+        return list(self._entries.items())
+
     # -- operations -----------------------------------------------------------
     def lookup(self, path: str) -> bool:
         """Check for ``path``; updates LRU order and hit/miss counters."""

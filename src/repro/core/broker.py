@@ -14,13 +14,16 @@ when the request is shipped away.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
 
 from ..cluster.filesystem import DistributedFileSystem
 from ..sim import Simulator, Trace
 from .costmodel import CostEstimate, CostModel
 from .loadinfo import ClusterView
 from .oracle import Oracle, TaskEstimate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache import CacheDirectory
 
 __all__ = ["BrokerDecision", "Broker"]
 
@@ -52,8 +55,8 @@ class Broker:
                  oracle: Oracle, cost_model: CostModel,
                  fs: DistributedFileSystem,
                  trace: Optional[Trace] = None,
-                 local_probe: Optional[Callable[[], "LoadSnapshot"]] = None
-                 ) -> None:
+                 local_probe: Optional[Callable[[], "LoadSnapshot"]] = None,
+                 directory: Optional["CacheDirectory"] = None) -> None:
         self.sim = sim
         self.node_id = node_id
         self.view = view
@@ -64,6 +67,10 @@ class Broker:
         #: instantaneous self-load reading (a node's own /proc is current;
         #: only the peers' broadcast info is stale)
         self.local_probe = local_probe
+        #: cooperative-cache directory (docs/CACHING.md); when wired, the
+        #: t_data term prices directory-confirmed RAM copies at memory
+        #: bandwidth instead of disk/NFS bandwidth
+        self.directory = directory
         self.decisions = 0
         self.redirections = 0
         #: times the graceful-degradation fallback served locally because
@@ -130,10 +137,13 @@ class Broker:
             home_snap = self.view.get(file_home, now)
             if (self.local_probe is not None and file_home == self.node_id):
                 home_snap = fresh
+        directory = self.directory
         estimates = tuple(
-            self.cost_model.estimate(task, cand, home_snap, file_home,
-                                     local=self.node_id,
-                                     client_latency=client_latency)
+            self.cost_model.estimate(
+                task, cand, home_snap, file_home,
+                local=self.node_id, client_latency=client_latency,
+                cached=(directory is not None and file_size > 0
+                        and directory.holds(cand.node, path, now)))
             for cand in candidates)
         if not estimates:
             # Nobody else is known: serve locally.

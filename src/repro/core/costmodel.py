@@ -104,6 +104,34 @@ class CostParameters:
     use_redirection_term: bool = True
     # --- assumed Internet bandwidth for t_net when enabled ---
     internet_bandwidth: float = 1e6
+    # --- cooperative cache & hot-file replication (docs/CACHING.md) ---
+    # Master switch for the repro.cache subsystem: loadd piggybacks each
+    # node's hot cached-file set on its broadcasts and brokers consult
+    # the resulting CacheDirectory when pricing t_data.
+    coop_cache: bool = False
+    # Run the ReplicationDaemon (requires coop_cache for the directory
+    # to advertise the copies it creates).
+    replicate: bool = False
+    # Ablation knockout: with coop_cache on but use_cache_term off, the
+    # directory is maintained (same wire traffic, same events) yet never
+    # consulted by t_data — the X10 control that must reproduce plain
+    # SWEB numbers exactly.
+    use_cache_term: bool = True
+    # Top-K resident files (by bytes·recency) advertised per broadcast.
+    cache_hot_set: int = 8
+    # Directory entries older than this are ignored, so muted or
+    # partitioned peers age out of the cache view just as they age out
+    # of the load view.  Matches staleness_timeout by default.
+    cache_report_ttl: float = 8.0
+    # Extra wire bytes per advertised path.  0.0 = the report rides in
+    # the slack of the existing 128-byte loadd message (a handful of
+    # path hashes fits), keeping coop broadcasts bit-identical to plain.
+    cache_report_bytes: float = 0.0
+    # --- replication-daemon knobs ---
+    replication_period: float = 2.0      # skew scan interval (s)
+    replication_factor: int = 3          # target cache copies per hot file
+    replication_skew: float = 2.0        # hot = bytes >= skew x mean bytes
+    replication_max_per_cycle: int = 4   # transfer budget per scan
 
     def __post_init__(self) -> None:
         if self.delta < 0:
@@ -126,6 +154,29 @@ class CostParameters:
             raise ValueError(f"negative client_retries: {self.client_retries}")
         if self.retry_backoff < 0:
             raise ValueError(f"negative retry_backoff: {self.retry_backoff}")
+        if self.replicate and not self.coop_cache:
+            raise ValueError("replicate requires coop_cache (the directory "
+                             "advertises the replicas)")
+        if self.cache_hot_set < 1:
+            raise ValueError(f"cache_hot_set must be >= 1: {self.cache_hot_set}")
+        if self.cache_report_ttl <= 0:
+            raise ValueError(
+                f"cache_report_ttl must be > 0: {self.cache_report_ttl}")
+        if self.cache_report_bytes < 0:
+            raise ValueError(
+                f"negative cache_report_bytes: {self.cache_report_bytes}")
+        if self.replication_period <= 0:
+            raise ValueError(
+                f"replication_period must be > 0: {self.replication_period}")
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1: {self.replication_factor}")
+        if self.replication_skew < 1.0:
+            raise ValueError(
+                f"replication_skew must be >= 1: {self.replication_skew}")
+        if self.replication_max_per_cycle < 1:
+            raise ValueError(f"replication_max_per_cycle must be >= 1: "
+                             f"{self.replication_max_per_cycle}")
 
 
 @dataclass(frozen=True)
@@ -147,10 +198,14 @@ class CostModel:
     """Evaluates t_s for candidate servers from (stale) load snapshots."""
 
     def __init__(self, params: Optional[CostParameters] = None,
-                 net_bandwidth: float = 40e6) -> None:
+                 net_bandwidth: float = 40e6,
+                 mem_bandwidth: float = 80e6) -> None:
         self.params = params or CostParameters()
         #: peak bandwidth of the intra-cluster fabric (b_net in §3.2)
         self.net_bandwidth = float(net_bandwidth)
+        #: memory-copy bandwidth used to price a directory-confirmed
+        #: RAM-resident file (the cooperative-cache t_data fast path)
+        self.mem_bandwidth = float(mem_bandwidth)
 
     # -- individual terms ---------------------------------------------------
     def t_redirection(self, candidate: int, local: int,
@@ -169,10 +224,20 @@ class CostModel:
         return 2.0 * client_latency + self.params.connect_time
 
     def t_data(self, est: TaskEstimate, candidate: LoadSnapshot,
-               home: Optional[LoadSnapshot], file_home: Optional[int]) -> float:
-        """Disk (and, if remote, interconnect) time for the file bytes."""
+               home: Optional[LoadSnapshot], file_home: Optional[int],
+               cached: bool = False) -> float:
+        """Disk (and, if remote, interconnect) time for the file bytes.
+
+        ``cached`` means the cooperative-cache directory believes the
+        candidate holds the file in RAM: the bytes then move at
+        memory-copy bandwidth regardless of where the home disk is —
+        LARD-style locality-aware pricing.  The ``use_cache_term``
+        knockout restores the RAM-blind estimate for ablation.
+        """
         if not self.params.use_data_term or est.disk_bytes <= 0:
             return 0.0
+        if cached and self.params.use_cache_term:
+            return est.disk_bytes / self.mem_bandwidth
         if file_home is None:
             return 0.0
         if file_home == candidate.node:
@@ -213,12 +278,13 @@ class CostModel:
     # -- the full t_s ----------------------------------------------------------
     def estimate(self, est: TaskEstimate, candidate: LoadSnapshot,
                  home: Optional[LoadSnapshot], file_home: Optional[int],
-                 local: int, client_latency: float) -> CostEstimate:
+                 local: int, client_latency: float,
+                 cached: bool = False) -> CostEstimate:
         """Predict the completion time if ``candidate`` serves the request."""
         return CostEstimate(
             node=candidate.node,
             t_redirection=self.t_redirection(candidate.node, local, client_latency),
-            t_data=self.t_data(est, candidate, home, file_home),
+            t_data=self.t_data(est, candidate, home, file_home, cached=cached),
             t_cpu=self.t_cpu(est, candidate, local=(candidate.node == local)),
             t_net=self.t_net(est),
         )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Iterator, Optional
 
+from ..cache import CacheDirectory, CacheReport, hot_set
 from ..cluster.network import ClusterNetwork
 from ..cluster.node import Node
 from ..sim import Event, Process, Simulator, Trace
@@ -34,7 +35,10 @@ class LoadDaemon:
     def __init__(self, sim: Simulator, node: Node, view: ClusterView,
                  peer_views: dict[int, ClusterView], network: ClusterNetwork,
                  params: Optional[CostParameters] = None,
-                 trace: Optional[Trace] = None) -> None:
+                 trace: Optional[Trace] = None,
+                 directory: Optional[CacheDirectory] = None,
+                 peer_directories: Optional[dict[int, CacheDirectory]] = None
+                 ) -> None:
         self.sim = sim
         self.node = node
         self.view = view
@@ -42,6 +46,11 @@ class LoadDaemon:
         self.network = network
         self.params = params or CostParameters()
         self.trace = trace
+        #: cooperative cache (docs/CACHING.md): when wired, every broadcast
+        #: piggybacks this node's hot cached-file set; ``peer_directories``
+        #: maps peer id -> the directory a delivered report lands in
+        self.directory = directory
+        self.peer_directories = peer_directories or {}
         self.broadcasts = 0
         self.messages_sent = 0
         self.bytes_sent = 0.0
@@ -153,20 +162,37 @@ class LoadDaemon:
                             "broadcast", level=TRACE_DETAIL,
                             cpu=round(snap.cpu_load, 3),
                             disk=snap.disk_load, net=snap.net_load)
+        # Piggyback the hot cached-file set on the same datagram: the
+        # directory costs no extra messages, only cache_report_bytes per
+        # advertised path (0 by default — it rides in the report's slack).
+        report: Optional[CacheReport] = None
+        msg_bytes = self.params.loadd_msg_bytes
+        if self.directory is not None:
+            report = CacheReport(
+                node=self.node.id,
+                paths=hot_set(self.node.cache.entries(),
+                              self.params.cache_hot_set),
+                timestamp=self.sim.now)
+            self.directory.update(report)
+            msg_bytes += self.params.cache_report_bytes * len(report.paths)
         # One batched fan-out: the fabric drives every peer delivery from
         # a single process instead of spawning one per peer per period.
         peers = [pid for pid in self.peer_views if pid != self.node.id]
-        events = self.network.multicast(self.node.id, peers,
-                                        self.params.loadd_msg_bytes,
+        events = self.network.multicast(self.node.id, peers, msg_bytes,
                                         tag="loadd")
         for peer_id, done in zip(peers, events):
             self.messages_sent += 1
-            self.bytes_sent += self.params.loadd_msg_bytes
+            self.bytes_sent += msg_bytes
 
             def deliver(_ev: Event,
                         view: ClusterView = self.peer_views[peer_id],
-                        s: LoadSnapshot = snap) -> None:
+                        s: LoadSnapshot = snap,
+                        directory: Optional[CacheDirectory] =
+                        self.peer_directories.get(peer_id),
+                        r: Optional[CacheReport] = report) -> None:
                 view.update(s)
+                if directory is not None and r is not None:
+                    directory.update(r)
 
             if done.callbacks is None:
                 deliver(done)

@@ -25,6 +25,7 @@ from ..sim import Process, RandomStreams, Simulator, Trace
 
 if TYPE_CHECKING:
     from ..faults import FaultInjector, FaultPlan
+from ..cache import CacheDirectory, FileHeat, ReplicationDaemon
 from ..web.cgi import CGIRegistry
 from ..web.client import Client, ClientProfile, UCSB_CLIENT
 from ..web.dns import RoundRobinDNS
@@ -83,8 +84,9 @@ class SWEBCluster:
         if isinstance(policy, str):
             policy = make_policy(policy, rng=self.rng)
         self.policy = policy
-        self.cost_model = CostModel(self.params,
-                                    net_bandwidth=self.spec.network_bandwidth)
+        self.cost_model = CostModel(
+            self.params, net_bandwidth=self.spec.network_bandwidth,
+            mem_bandwidth=min(n.mem.rate for n in self.nodes))
 
         if dispatcher is not None:
             if not 0 <= dispatcher < len(self.nodes):
@@ -95,6 +97,24 @@ class SWEBCluster:
         self.dispatcher = dispatcher
         self.dns = RoundRobinDNS(self.sim, zone, ttl=dns_ttl)
 
+        # Cooperative cache & replication (docs/CACHING.md): one directory
+        # per node fed by piggybacked loadd reports; heat counters and the
+        # replication daemon only when proactive replication is enabled.
+        self.directories: dict[int, CacheDirectory] = {}
+        self.heat: Optional[FileHeat] = None
+        self.replicator: Optional[ReplicationDaemon] = None
+        if self.params.coop_cache:
+            self.directories = {
+                n.id: CacheDirectory(owner=n.id,
+                                     ttl=self.params.cache_report_ttl,
+                                     local_probe=n.cache.__contains__)
+                for n in self.nodes}
+        if self.params.replicate:
+            self.heat = FileHeat()
+            self.replicator = ReplicationDaemon.from_params(
+                self.sim, self.nodes, self.fs, self.network, self.heat,
+                self.params, trace=self.trace)
+
         # Per-node distributed state: view, broker, httpd, loadd.
         self.views: dict[int, ClusterView] = {
             n.id: ClusterView(owner=n.id,
@@ -104,18 +124,22 @@ class SWEBCluster:
         self.loadds: dict[int, LoadDaemon] = {
             n.id: LoadDaemon(self.sim, n, self.views[n.id], self.views,
                              self.network, params=self.params,
-                             trace=self.trace)
+                             trace=self.trace,
+                             directory=self.directories.get(n.id),
+                             peer_directories=self.directories)
             for n in self.nodes}
         self.brokers: dict[int, Broker] = {
             n.id: Broker(self.sim, n.id, self.views[n.id], self.oracle,
                          self.cost_model, self.fs, trace=self.trace,
-                         local_probe=self.loadds[n.id].probe)
+                         local_probe=self.loadds[n.id].probe,
+                         directory=self.directories.get(n.id))
             for n in self.nodes}
         self.servers: dict[int, HTTPServer] = {
             n.id: HTTPServer(self.sim, n, self.fs, self.internet,
                              self.policy, self.brokers[n.id],
                              cgi_registry=self.cgi, params=self.params,
-                             backlog=backlog, trace=self.trace)
+                             backlog=backlog, trace=self.trace,
+                             heat=self.heat)
             for n in self.nodes}
         # Wire the httpds together for the forwarding mechanism.
         for server in self.servers.values():
@@ -125,6 +149,8 @@ class SWEBCluster:
             daemon.bootstrap()
             if start_loadd:
                 daemon.start()
+        if self.replicator is not None and start_loadd:
+            self.replicator.start()
 
     # -- content ----------------------------------------------------------
     def add_file(self, path: str, size: float, home: int) -> None:
@@ -233,6 +259,26 @@ class SWEBCluster:
 
     def total_redirections(self) -> int:
         return sum(s.redirects_issued for s in self.servers.values())
+
+    # -- cooperative cache (docs/CACHING.md) -----------------------------------
+    def page_cache_stats(self) -> dict[int, dict[str, float]]:
+        """Per-node page-cache counters (hits/misses/evictions/used/capacity)."""
+        return {n.id: {"hits": float(n.cache.hits),
+                       "misses": float(n.cache.misses),
+                       "evictions": float(n.cache.evictions),
+                       "used_bytes": n.cache.used_bytes,
+                       "capacity_bytes": n.cache.capacity}
+                for n in self.nodes}
+
+    def page_cache_hit_rate(self) -> float:
+        """Aggregate page-cache hit rate across every node's RAM."""
+        hits = sum(n.cache.hits for n in self.nodes)
+        total = hits + sum(n.cache.misses for n in self.nodes)
+        return hits / total if total else 0.0
+
+    def total_replications(self) -> int:
+        """Hot-file copies landed by the replication daemon (0 when off)."""
+        return self.replicator.replications if self.replicator else 0
 
     def __repr__(self) -> str:
         return (f"<SWEBCluster {self.spec.name!r} nodes={len(self.nodes)} "

@@ -25,6 +25,7 @@ X6    extension — disk striping                      striping
 X7    extension — centralized dispatcher             centralized
 X8    extension — burst/queue dynamics               dynamics
 X9    extension — faults & graceful degradation      faults
+X10   extension — cooperative cache & replication    cache_coop
 ====  =============================================  =================
 """
 
@@ -33,6 +34,7 @@ from . import (
     ablation_loadd,
     adaptive,
     analysis_vs_sim,
+    cache_coop,
     centralized,
     churn,
     dynamics,
@@ -77,6 +79,7 @@ ALL_EXPERIMENTS = {
     "X7": centralized,
     "X8": dynamics,
     "X9": faults,
+    "X10": cache_coop,
 }
 
 

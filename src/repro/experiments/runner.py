@@ -14,6 +14,12 @@ from typing import Callable, Optional
 from ..core import SWEBCluster
 from ..sim import AllOf, Summary
 from ..web import Client, Metrics
+# Deprecated re-export shim: ``Scenario`` and ``DEFAULT_PROFILES`` moved
+# to :mod:`repro.workload` when the scenario presets grew into their own
+# layer; they stay importable from here only so pre-move callers keep
+# working.  New code should import from ``repro.workload`` —
+# tests/test_experiments_runner.py pins both paths to the same objects
+# so the shim cannot silently drift from the real definitions.
 from ..workload import DEFAULT_PROFILES, Scenario
 
 __all__ = ["DEFAULT_PROFILES", "Scenario", "ScenarioResult",
@@ -80,10 +86,32 @@ class ScenarioResult:
 
     # -- substrate statistics -----------------------------------------------
     def cache_hit_rate(self) -> float:
+        """Aggregate *page-cache* (RAM) hit rate across all nodes.
+
+        Not the DNS cache — see :meth:`dns_cache_hit_rate` for that.
+        """
         hits = sum(n.cache.hits for n in self.cluster.nodes)
         misses = sum(n.cache.misses for n in self.cluster.nodes)
         total = hits + misses
         return hits / total if total else 0.0
+
+    def dns_cache_hit_rate(self) -> float:
+        """Client-side DNS cache hit rate (TTL-driven; not the page cache)."""
+        return self.cluster.dns.cache_hit_rate
+
+    def page_cache_stats(self) -> dict[int, dict[str, float]]:
+        """Per-node page-cache counters (hits/misses/evictions/bytes)."""
+        return self.cluster.page_cache_stats()
+
+    def p95_response_time(self) -> float:
+        """95th-percentile response time over completed requests."""
+        tally = self.metrics.response_times()
+        return tally.percentile(95) if tally.count else 0.0
+
+    @property
+    def replications(self) -> int:
+        """Hot-file copies landed by the replication daemon (0 when off)."""
+        return self.cluster.total_replications()
 
     def remote_read_fraction(self) -> float:
         fs = self.cluster.fs
@@ -171,6 +199,13 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
 
     done = sim.spawn(driver(), name="workload-driver")
     sim.run(until=done)
+    # Surface the cluster-layer page-cache counters in the metrics object
+    # so reports need not reach back into the cluster (docs/CACHING.md).
+    for node_id, stats in cluster.page_cache_stats().items():
+        cluster.metrics.record_page_cache(
+            node_id, stats["hits"], stats["misses"], stats["evictions"],
+            used_bytes=stats["used_bytes"],
+            capacity_bytes=stats["capacity_bytes"])
     return ScenarioResult(
         scenario=scenario.name,
         cluster=cluster,

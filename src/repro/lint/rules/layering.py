@@ -1,6 +1,7 @@
 """Layering rules: the import DAG of ``docs/ARCHITECTURE.md``, enforced.
 
-``sim → cluster → {faults, web} → core → workload → experiments``: each
+``sim → cluster → cache → {faults, web} → core → workload →
+experiments``: each
 layer imports only layers strictly below it, and the experiments layer
 touches subsystems only through their public ``__init__`` exports, so a
 package's module layout can change without breaking every table and
@@ -32,7 +33,8 @@ class LayerImportRule(Rule):
 
     name = "layer-import"
     summary = ("layers import only the layers below them (sim -> cluster "
-               "-> {faults, web} -> core -> workload -> experiments)")
+               "-> cache -> {faults, web} -> core -> workload -> "
+               "experiments)")
 
     def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
         allowed = ctx.config.layer_allowed.get(ctx.layer or "")

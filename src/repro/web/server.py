@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from ..cache import FileHeat
 from ..cluster.network import Internet, WANPath
 from ..cluster.node import Node
 from ..cluster.filesystem import DistributedFileSystem
@@ -65,7 +66,8 @@ class HTTPServer:
                  cgi_registry: Optional[CGIRegistry] = None,
                  params: Optional["CostParameters"] = None,
                  backlog: int = 64, hostname: Optional[str] = None,
-                 trace: Optional[Trace] = None) -> None:
+                 trace: Optional[Trace] = None,
+                 heat: Optional[FileHeat] = None) -> None:
         if backlog < 1:
             raise ValueError(f"backlog must be >= 1, got {backlog}")
         if params is None:
@@ -87,6 +89,9 @@ class HTTPServer:
         self.backlog = backlog
         self.hostname = hostname or f"sweb{node.id}.cs.ucsb.edu"
         self.trace = trace
+        #: cluster-shared per-file request counters feeding the
+        #: replication daemon's skew detector (docs/CACHING.md)
+        self.heat = heat
         #: peer httpds by node id (wired by SWEBCluster; used by the
         #: request-forwarding mechanism)
         self.peers: dict[int, "HTTPServer"] = {}
@@ -278,6 +283,9 @@ class HTTPServer:
         else:
             outcome = yield self.fs.read(path, at_node=self.node.id)
             body = outcome.nbytes
+            rec.source = outcome.source
+            if self.heat is not None:
+                self.heat.record(path, body)
             if self.trace is not None and self.trace.active:
                 self.trace.emit(self.sim.now, "io", f"httpd-{self.node.id}",
                                 "file_read", level=TRACE_DETAIL, path=path,

@@ -79,16 +79,43 @@ def uniform_sampler(corpus: Corpus, rng: RandomStreams,
 
 
 def zipf_sampler(corpus: Corpus, rng: RandomStreams, alpha: float = 1.0,
-                 stream: str = "zipf") -> PathSampler:
-    """Zipf-popular documents (web traffic's classic shape)."""
+                 stream: str = "zipf", hot_set: Optional[int] = None,
+                 tail_weight: float = 0.0) -> PathSampler:
+    """Zipf-popular documents (web traffic's classic shape).
+
+    ``hot_set`` confines the Zipf head to the corpus's first N paths —
+    the knob the cooperative-cache experiment (X10) uses to engineer a
+    working set bigger than one node's RAM but smaller than the
+    cluster's.  ``tail_weight`` then sends that fraction of requests
+    uniformly into the remaining cold tail (0.0 keeps every request in
+    the hot set; requires a hot set smaller than the corpus).  The
+    defaults reproduce the historical behaviour exactly — same stream,
+    same draws.
+    """
     paths = corpus.paths
     if not paths:
         raise ValueError("corpus has no documents")
+    if hot_set is None:
+        def sample() -> str:
+            return paths[rng.zipf_index(stream, len(paths), alpha=alpha)]
 
-    def sample() -> str:
-        return paths[rng.zipf_index(stream, len(paths), alpha=alpha)]
+        return sample
+    if not 1 <= hot_set <= len(paths):
+        raise ValueError(f"hot_set must be in 1..{len(paths)}, got {hot_set}")
+    if not 0.0 <= tail_weight < 1.0:
+        raise ValueError(f"tail_weight must be in [0, 1), got {tail_weight}")
+    tail = len(paths) - hot_set
+    if tail_weight > 0.0 and tail == 0:
+        raise ValueError("tail_weight needs a cold tail "
+                         "(hot_set < corpus size)")
 
-    return sample
+    def sample_hot() -> str:
+        if (tail_weight > 0.0
+                and rng.uniform(stream + "-tail") < tail_weight):
+            return paths[hot_set + rng.integers(stream + "-tail", 0, tail)]
+        return paths[rng.zipf_index(stream, hot_set, alpha=alpha)]
+
+    return sample_hot
 
 
 def hot_file_sampler(path: str) -> PathSampler:

@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.cluster import meiko_cs2, sun_now
 from repro.core.costmodel import CostParameters
+from repro.experiments.cache_coop import hot_cold_corpus
 from repro.experiments.runner import Scenario, run_scenario
 from repro.sim import RandomStreams, Trace
 from repro.workload import (
@@ -32,13 +33,16 @@ from repro.workload import (
     poisson_workload,
     uniform_corpus,
     uniform_sampler,
+    zipf_sampler,
 )
 
 GOLDEN = Path(__file__).resolve().parent / "data" / "determinism_fingerprint.json"
 
 
 def _scenarios():
-    """Two fixed-seed scenarios covering both fabrics and both hot paths."""
+    """Fixed-seed scenarios covering both fabrics, both hot paths, and
+    the cooperative-cache machinery (directory, replication daemon,
+    replica and peer-cache read paths)."""
     meiko_corpus = uniform_corpus(24, 4e4, 6)
     meiko = Scenario(
         name="det-meiko",
@@ -63,7 +67,23 @@ def _scenarios():
         params=CostParameters(),
         trace=Trace(),
     )
-    return [meiko, now]
+    coop_corpus = hot_cold_corpus(4)
+    coop = Scenario(
+        name="det-coop",
+        spec=meiko_cs2(4),
+        corpus=coop_corpus,
+        workload=burst_workload(
+            6, 20.0, zipf_sampler(coop_corpus, RandomStreams(seed=17),
+                                  alpha=1.0, hot_set=16, tail_weight=0.25)),
+        policy="sweb",
+        seed=9,
+        params=CostParameters(coop_cache=True, replicate=True,
+                              cache_hot_set=16, replication_period=1.0,
+                              replication_skew=1.0,
+                              replication_max_per_cycle=8),
+        trace=Trace(),
+    )
+    return [meiko, now, coop]
 
 
 def _record_line(rec) -> str:

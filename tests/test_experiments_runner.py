@@ -18,6 +18,23 @@ def tiny_scenario(rps=2, duration=3.0, policy="sweb", n=2, size=1e4,
                     policy=policy, seed=seed, **kw)
 
 
+def test_runner_reexport_shim_is_identical():
+    """The deprecated runner re-exports must BE the workload objects.
+
+    ``Scenario`` and ``DEFAULT_PROFILES`` moved to ``repro.workload``;
+    the runner keeps importable aliases for pre-move callers.  Pinning
+    identity (not equality) guarantees the shim cannot silently drift
+    into a stale copy of the real definitions.
+    """
+    import repro.experiments.runner as runner
+    import repro.workload as workload
+
+    assert runner.Scenario is workload.Scenario
+    assert runner.DEFAULT_PROFILES is workload.DEFAULT_PROFILES
+    from repro.experiments import Scenario as exported_scenario
+    assert exported_scenario is workload.Scenario
+
+
 def test_run_scenario_completes_all_requests():
     res = run_scenario(tiny_scenario())
     assert res.metrics.total == 6

@@ -5,6 +5,8 @@ Invariants:
 * HTTP request format/parse is a lossless round trip for valid inputs;
 * CLF format/parse round-trips entries;
 * the page cache never exceeds capacity and its byte accounting is exact;
+* page-cache hit/miss counters tally every lookup, oversized files are
+  never admitted, and ``entries()`` snapshots are side-effect free;
 * fair-share allocation respects caps and never exceeds total rate;
 * the broker's choice always carries the minimal estimate;
 * the §3.3 bound is monotone in p and antitone in F.
@@ -96,6 +98,41 @@ def test_page_cache_capacity_and_accounting(capacity, ops):
         assert cache.used_bytes <= capacity + 1e-9
         assert math.isclose(cache.used_bytes, sum(shadow.values()),
                             rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(capacity=st.floats(min_value=1.0, max_value=100.0), ops=cache_ops)
+@settings(max_examples=100, deadline=None)
+def test_page_cache_counters_and_entries(capacity, ops):
+    """Counter and entries() invariants under arbitrary op sequences.
+
+    hits + misses always equals the number of lookups; a file larger
+    than the whole cache is never admitted; and ``entries()`` (what the
+    cooperative-cache directory samples) always agrees byte-for-byte
+    with the accounting, without perturbing LRU order or counters.
+    """
+    cache = PageCache(capacity)
+    lookups = 0
+    for fid, size in ops:
+        path = f"/f{fid}"
+        was_resident = path in cache
+        cache.lookup(path)
+        lookups += 1
+        used_before = cache.used_bytes
+        cache.insert(path, size)
+        if size > capacity:
+            # An oversized insert is a no-op: residency (possibly from an
+            # earlier, fitting insert) and accounting are untouched.
+            assert (path in cache) == was_resident
+            assert cache.used_bytes == used_before
+        before = (cache.hits, cache.misses, cache.evictions)
+        snapshot = cache.entries()
+        assert (cache.hits, cache.misses, cache.evictions) == before
+        assert snapshot == cache.entries()  # no side effects on order
+        assert all(s <= capacity for _, s in snapshot)
+        assert math.isclose(sum(s for _, s in snapshot), cache.used_bytes,
+                            rel_tol=1e-9, abs_tol=1e-9)
+        assert len(snapshot) == len(cache)
+        assert cache.hits + cache.misses == lookups
 
 
 # ------------------------------------------------------------- fair share
