@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
 from ..cluster.filesystem import DistributedFileSystem
 from ..cluster.network import ClusterNetwork
 from ..cluster.node import Node
+from ..obs import MetricsRegistry
 from ..sim import Event, Process, Simulator, Trace
 from ..sim.trace import DETAIL as TRACE_DETAIL
 from .stats import FileHeat
@@ -47,7 +48,8 @@ class ReplicationDaemon:
                  fs: DistributedFileSystem, network: ClusterNetwork,
                  heat: FileHeat, period: float = 2.0, factor: int = 3,
                  skew: float = 2.0, max_per_cycle: int = 4,
-                 trace: Optional[Trace] = None) -> None:
+                 trace: Optional[Trace] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if period <= 0:
             raise ValueError("replication period must be positive")
         if factor < 1:
@@ -66,6 +68,11 @@ class ReplicationDaemon:
         self.skew = float(skew)
         self.max_per_cycle = int(max_per_cycle)
         self.trace = trace
+        #: shared run-wide registry the daemon publishes its ``cache.*``
+        #: counters into (None = standalone use; attributes below still
+        #: carry the same totals)
+        self._counters = (registry.counters("cache")
+                          if registry is not None else None)
         self.replications = 0
         self.bytes_replicated = 0.0
         self.cycles = 0
@@ -76,14 +83,16 @@ class ReplicationDaemon:
     def from_params(cls, sim: Simulator, nodes: Sequence[Node],
                     fs: DistributedFileSystem, network: ClusterNetwork,
                     heat: FileHeat, params: "CostParameters",
-                    trace: Optional[Trace] = None) -> "ReplicationDaemon":
+                    trace: Optional[Trace] = None,
+                    registry: Optional[MetricsRegistry] = None,
+                    ) -> "ReplicationDaemon":
         """Build a daemon from the knobs on :class:`CostParameters`."""
         return cls(sim, nodes, fs, network, heat,
                    period=params.replication_period,
                    factor=params.replication_factor,
                    skew=params.replication_skew,
                    max_per_cycle=params.replication_max_per_cycle,
-                   trace=trace)
+                   trace=trace, registry=registry)
 
     # -- planning -----------------------------------------------------------
     def _node_load(self, node: Node) -> float:
@@ -184,6 +193,9 @@ class ReplicationDaemon:
             target_node.cache.insert(path, meta.size)
             self.replications += 1
             self.bytes_replicated += meta.size
+            if self._counters is not None:
+                self._counters.incr("replications")
+                self._counters.incr("bytes_replicated", by=int(meta.size))
             if self.trace is not None and self.trace.active:
                 self.trace.emit(self.sim.now, "cache", "replicator",
                                 "replicate", level=TRACE_DETAIL, path=path,

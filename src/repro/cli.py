@@ -7,7 +7,10 @@ Subcommands:
 * ``all [--full]`` — regenerate everything (EXPERIMENTS.md source);
 * ``serve`` — run an ad-hoc scenario from flags (testbed, policy, rps...);
 * ``bench`` — measure kernel/stack performance, write ``BENCH_kernel.json``
-  (see ``docs/PERFORMANCE.md``; ``--profile`` adds a cProfile breakdown).
+  (see ``docs/PERFORMANCE.md``; ``--profile`` adds a cProfile breakdown);
+* ``trace`` — run a seeded scenario with per-request tracing on and emit
+  a Chrome ``trace_event`` JSON plus a text flamegraph
+  (see ``docs/TRACING.md``).
 """
 
 from __future__ import annotations
@@ -17,6 +20,25 @@ import sys
 import time
 
 __all__ = ["main", "build_parser"]
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: a non-negative integer (``--trace-requests``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    value = _nonneg_int(text)
+    if value == 0:
+        raise argparse.ArgumentTypeError("must be >= 1, got 0")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--zipf", type=float, metavar="ALPHA", default=None,
                        help="use a Zipf(ALPHA) popularity distribution "
                             "instead of uniform sampling")
+    serve.add_argument("--trace-requests", type=_nonneg_int, metavar="N",
+                       default=None,
+                       help="trace the first N requests (0 = trace all); "
+                            "off by default — tracing is observational and "
+                            "never changes results (docs/TRACING.md)")
+    serve.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="Chrome trace_event JSON output path "
+                            "(default trace.json; requires "
+                            "--trace-requests)")
 
     bench = sub.add_parser(
         "bench", help="benchmark the simulation kernel and the full stack")
@@ -104,6 +135,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "is not installed)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+
+    trace = sub.add_parser(
+        "trace", help="run a seeded scenario with per-request tracing "
+                      "and export Chrome trace JSON (docs/TRACING.md)")
+    trace.add_argument("experiment", nargs="?", default="X10",
+                       help="what to trace: X10 (Zipf hot set with "
+                            "cooperative cache + replication, the default) "
+                            "or a named scenario (T1, T3, T4, SKEWED)")
+    trace.add_argument("-o", "--out", default="trace.json",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--requests", type=_positive_int, metavar="N",
+                       default=None,
+                       help="trace only the first N requests "
+                            "(default: all)")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--duration", type=float, default=30.0,
+                       help="workload window in simulated seconds")
+    trace.add_argument("--flame", action="store_true",
+                       help="also print the text flamegraph rollup")
 
     report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md (all artifacts)")
@@ -159,6 +209,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .workload import (burst_workload, uniform_corpus, uniform_sampler,
                            zipf_sampler)
 
+    if args.trace_out is not None and args.trace_requests is None:
+        print("--trace-out requires --trace-requests", file=sys.stderr)
+        return 2
+    tracer = None
+    if args.trace_requests is not None:
+        from .obs import Tracer
+        # 0 means "no cap": trace every request of the run.
+        tracer = Tracer(max_requests=args.trace_requests or None)
     plan = None
     if args.faults:
         try:
@@ -183,7 +241,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             graceful_degradation=args.graceful,
                             coop_cache=coop,
                             replicate=args.replicate),
-                        faults=plan)
+                        faults=plan, tracer=tracer)
     result = run_scenario(scenario)
     print(result.summary_line())
     summary = result.response_summary
@@ -210,7 +268,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"degradation: fallbacks {result.fallback_count}, "
               f"retries {result.retry_count}, "
               f"connections reset {result.reset_count}")
+    if tracer is not None:
+        from .obs import flame_rollup, render_chrome_trace
+        out = args.trace_out if args.trace_out is not None else "trace.json"
+        with open(out, "w") as fh:
+            fh.write(render_chrome_trace(tracer.traces()))
+        print(f"\ntraced {len(tracer)} requests -> {out}")
+        print(flame_rollup(tracer.traces()))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .experiments.runner import run_scenario
+    from .obs import Tracer, flame_rollup, render_chrome_trace
+    from .workload import build_scenario
+
+    exp = args.experiment.upper()
+    tracer = Tracer(max_requests=args.requests)
+    if exp == "X10":
+        # The X10 shape (docs/CACHING.md): Zipf hot set homed on node 0,
+        # cooperative cache directory + hot-file replication on — the
+        # richest traces (replica reads, peer-cache hops, redirections).
+        from .cluster import meiko_cs2
+        from .experiments.cache_coop import (
+            CONFIGS, N_HOT, TAIL_WEIGHT, hot_cold_corpus)
+        from .sim import RandomStreams
+        from .workload import Scenario, burst_workload, zipf_sampler
+
+        corpus = hot_cold_corpus(6)
+        sampler = zipf_sampler(corpus, RandomStreams(seed=args.seed),
+                               alpha=1.0, hot_set=N_HOT,
+                               tail_weight=TAIL_WEIGHT)
+        workload = burst_workload(6, args.duration, sampler)
+        scenario = Scenario(name="trace-x10", spec=meiko_cs2(6),
+                            corpus=corpus, workload=workload, policy="sweb",
+                            seed=args.seed, client_timeout=600.0,
+                            backlog=1024, params=CONFIGS["dir+repl"](),
+                            tracer=tracer)
+    else:
+        named = {"T1": "table1", "T3": "table3", "T4": "table4",
+                 "SKEWED": "skewed"}
+        if exp not in named:
+            print(f"unknown trace experiment {args.experiment!r}; "
+                  f"choose X10, {', '.join(sorted(named))}",
+                  file=sys.stderr)
+            return 2
+        scenario = build_scenario(named[exp], duration=args.duration,
+                                  seed=args.seed)
+        scenario = replace(scenario, tracer=tracer)
+    result = run_scenario(scenario)
+    traces = tracer.traces()
+    with open(args.out, "w") as fh:
+        fh.write(render_chrome_trace(traces))
+    # Reconciliation check: every completed, traced request's stage sums
+    # must be consistent with its terminal latency.
+    checked = failed = 0
+    for rec in result.metrics.records:
+        trace = tracer.get(rec.req_id)
+        if trace is None or not rec.ok or rec.response_time is None:
+            continue
+        checked += 1
+        if not trace.reconciles(rec.response_time) or trace.problems():
+            failed += 1
+    print(result.summary_line())
+    print(f"traced {len(traces)} requests -> {args.out}")
+    print(f"span sums reconcile with latency: {checked - failed}/{checked}")
+    if args.flame:
+        print()
+        print(flame_rollup(traces))
+    return 0 if failed == 0 else 1
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -288,6 +416,8 @@ def main(argv=None) -> int:
         return bench_main(out=args.out or None, repeats=args.repeats,
                           scale=args.scale, profile=args.profile,
                           top=args.top, phases=args.phases)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "replay":
         return _cmd_replay(args)
     if args.command == "config-template":

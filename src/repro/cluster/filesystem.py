@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from ..obs import Span, Tracer
 from ..sim import AllOf, Event, Simulator
 from .network import ClusterNetwork
 from .node import Node
@@ -78,6 +79,25 @@ class DistributedFileSystem:
         #: home-cache misses served from a peer's cached replica instead
         #: of the home disk (cooperative-cache fast path)
         self.peer_cache_reads = 0
+        #: per-request span tracer (wired post-build by SWEBCluster;
+        #: ``None`` = tracing off).  Reads pass their parent span via the
+        #: ``ctx`` argument so cache/disk/NFS legs show up nested under
+        #: the server's fulfillment span.
+        self.tracer: Optional[Tracer] = None
+
+    # -- tracing helpers ------------------------------------------------------
+    def _read_span(self, ctx: Optional[Span], name: str,
+                   node: Optional[int], **tags) -> Optional[Span]:
+        """Open a data-transfer child span under ``ctx`` (None-safe)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.start(ctx, name, self.sim.now, "data_transfer",
+                                 node=node, **tags)
+
+    def _end_span(self, span: Optional[Span], **tags) -> None:
+        """Close ``span`` at the current sim time (None-safe)."""
+        if self.tracer is not None:
+            self.tracer.finish(span, self.sim.now, **tags)
 
     # -- namespace -----------------------------------------------------------
     def add_file(self, path: str, size: float, home: int) -> FileMeta:
@@ -142,17 +162,21 @@ class DistributedFileSystem:
         return len(self._files)
 
     # -- I/O ---------------------------------------------------------------------
-    def read(self, path: str, at_node: int) -> Event:
+    def read(self, path: str, at_node: int,
+             ctx: Optional[Span] = None) -> Event:
         """Read ``path`` as seen from ``at_node``.
 
         Returns an event whose value is a :class:`ReadOutcome`.  Local
         reads hit the node's page cache or disk; remote reads are served
         by the home node (its cache or disk) and then shipped over the
         interconnect with the NFS penalty applied to the bytes moved.
+        ``ctx`` is the caller's span: when tracing is on, each leg of the
+        read (cache hit, disk, replica, peer cache, NFS wire) becomes a
+        child span under it.
         """
         meta = self.locate(path)
         if meta.is_striped:
-            return self._read_striped(meta, at_node)
+            return self._read_striped(meta, at_node, ctx)
         home_node = self.nodes[meta.home]
         reader = self.nodes[at_node]
         done = Event(self.sim)
@@ -167,7 +191,9 @@ class DistributedFileSystem:
             reader.cache.lookup(path)
 
             def pump_replica():
+                sp = self._read_span(ctx, "replica_read", at_node, path=path)
                 yield reader.read_from_cache(meta.size, tag=path)
+                self._end_span(sp, bytes=meta.size)
                 done.succeed(ReadOutcome(path=path, nbytes=meta.size,
                                          source="cache", remote=False,
                                          home=meta.home))
@@ -183,7 +209,9 @@ class DistributedFileSystem:
             # Stage 1: produce the bytes at the home node (cache or disk).
             if home_node.cache.lookup(path):
                 source = "cache"
+                sp = self._read_span(ctx, "cache_read", meta.home, path=path)
                 yield home_node.read_from_cache(meta.size, tag=path)
+                self._end_span(sp, bytes=meta.size)
             else:
                 holder = self._cached_peer(meta, at_node)
                 if holder is not None:
@@ -193,21 +221,29 @@ class DistributedFileSystem:
                     # runs never reach this branch.
                     self.peer_cache_reads += 1
                     holder.cache.lookup(path)
+                    sp = self._read_span(ctx, "peer_cache_read", holder.id,
+                                         path=path, dst=at_node)
                     yield holder.read_from_cache(meta.size, tag=path)
                     wire = meta.size * (1.0 + self.remote_penalty)
                     yield self.network.transfer(holder.id, at_node, wire,
                                                 tag=path)
+                    self._end_span(sp, bytes=meta.size)
                     done.succeed(ReadOutcome(path=path, nbytes=meta.size,
                                              source="cache", remote=True,
                                              home=meta.home))
                     return
                 source = "disk"
+                sp = self._read_span(ctx, "disk_read", meta.home, path=path)
                 yield home_node.disk.read(meta.size, tag=path)
+                self._end_span(sp, bytes=meta.size)
                 home_node.cache.insert(path, meta.size)
             # Stage 2: ship them over the interconnect if non-local.
             if remote:
                 wire_bytes = meta.size * (1.0 + self.remote_penalty)
+                sp = self._read_span(ctx, "nfs_transfer", meta.home,
+                                     path=path, dst=at_node)
                 yield self.network.transfer(meta.home, at_node, wire_bytes, tag=path)
+                self._end_span(sp, bytes=wire_bytes)
             done.succeed(ReadOutcome(path=path, nbytes=meta.size, source=source,
                                      remote=remote, home=meta.home))
 
@@ -230,7 +266,8 @@ class DistributedFileSystem:
                 best, best_key = node, key
         return best
 
-    def _read_striped(self, meta: FileMeta, at_node: int) -> Event:
+    def _read_striped(self, meta: FileMeta, at_node: int,
+                      ctx: Optional[Span] = None) -> Event:
         """Parallel chunk reads from every stripe disk.
 
         The assembled file is cached at the *reading* node (there is no
@@ -247,12 +284,20 @@ class DistributedFileSystem:
 
         def pump():
             if reader.cache.lookup(meta.path):
+                sp = self._read_span(ctx, "cache_read", at_node,
+                                     path=meta.path)
                 yield reader.read_from_cache(meta.size, tag=meta.path)
+                self._end_span(sp, bytes=meta.size)
                 done.succeed(ReadOutcome(path=meta.path, nbytes=meta.size,
                                          source="cache",
                                          remote=at_node not in meta.stripes,
                                          home=meta.home))
                 return
+            # One span for the whole parallel fan-out: the stripe legs
+            # overlap by design, so modelling them as sibling child spans
+            # would violate the non-overlap invariant.
+            sp = self._read_span(ctx, "striped_read", at_node,
+                                 path=meta.path, stripes=len(meta.stripes))
             waits = []
             for node in meta.stripes:
                 waits.append(self.nodes[node].disk.read(chunk, tag=meta.path))
@@ -261,6 +306,7 @@ class DistributedFileSystem:
                     waits.append(self.network.transfer(node, at_node, wire,
                                                        tag=meta.path))
             yield AllOf(self.sim, waits)
+            self._end_span(sp, bytes=meta.size)
             reader.cache.insert(meta.path, meta.size)
             done.succeed(ReadOutcome(path=meta.path, nbytes=meta.size,
                                      source="disk",

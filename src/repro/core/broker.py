@@ -47,6 +47,23 @@ class BrokerDecision:
                 return est
         return None
 
+    def estimate_tags(self) -> dict[str, object]:
+        """Flatten the consultation into span tags (repro.obs).
+
+        One ``est_n<id>`` key per priced candidate (predicted t_s,
+        rounded so traces stay compact), plus the winner and whether the
+        argmin moved the request — a trace then shows *why* the broker
+        chose its node, not just that it did.
+        """
+        tags: dict[str, object] = {
+            "winner": self.chosen,
+            "local": self.local,
+            "redirected": self.redirected,
+        }
+        for est in self.estimates:
+            tags[f"est_n{est.node}"] = round(est.total, 6)
+        return tags
+
 
 class Broker:
     """Per-node argmin scheduler over the multi-faceted cost model."""

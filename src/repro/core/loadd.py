@@ -21,6 +21,7 @@ from typing import Iterator, Optional
 from ..cache import CacheDirectory, CacheReport, hot_set
 from ..cluster.network import ClusterNetwork
 from ..cluster.node import Node
+from ..obs import MetricsRegistry
 from ..sim import Event, Process, Simulator, Trace
 from ..sim.trace import DETAIL as TRACE_DETAIL
 from .costmodel import CostParameters
@@ -36,6 +37,7 @@ class LoadDaemon:
                  peer_views: dict[int, ClusterView], network: ClusterNetwork,
                  params: Optional[CostParameters] = None,
                  trace: Optional[Trace] = None,
+                 registry: Optional[MetricsRegistry] = None,
                  directory: Optional[CacheDirectory] = None,
                  peer_directories: Optional[dict[int, CacheDirectory]] = None
                  ) -> None:
@@ -51,6 +53,12 @@ class LoadDaemon:
         #: maps peer id -> the directory a delivered report lands in
         self.directory = directory
         self.peer_directories = peer_directories or {}
+        #: shared run-wide registry this daemon publishes its ``loadd.*``
+        #: counters/gauges into (replaces per-report counter scraping)
+        self._counters = (registry.counters("loadd")
+                          if registry is not None else None)
+        self._bytes_gauge = (registry.gauge("loadd.bytes_sent")
+                             if registry is not None else None)
         self.broadcasts = 0
         self.messages_sent = 0
         self.bytes_sent = 0.0
@@ -180,6 +188,11 @@ class LoadDaemon:
         peers = [pid for pid in self.peer_views if pid != self.node.id]
         events = self.network.multicast(self.node.id, peers, msg_bytes,
                                         tag="loadd")
+        if self._counters is not None:
+            self._counters.incr("broadcasts")
+            self._counters.incr("messages", by=len(peers))
+        if self._bytes_gauge is not None:
+            self._bytes_gauge.add(msg_bytes * len(peers))
         for peer_id, done in zip(peers, events):
             self.messages_sent += 1
             self.bytes_sent += msg_bytes

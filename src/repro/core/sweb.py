@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
 from ..cluster.topology import BuiltCluster, ClusterSpec, meiko_cs2
+from ..obs import MetricsRegistry, Tracer
 from ..sim import Process, RandomStreams, Simulator, Trace
 
 if TYPE_CHECKING:
@@ -54,6 +55,8 @@ class SWEBCluster:
                  backlog: int = 64,
                  dns_ttl: float = 0.0,
                  trace: Optional[Trace] = None,
+                 tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricsRegistry] = None,
                  start_loadd: bool = True,
                  dispatcher: Optional[int] = None) -> None:
         """``dispatcher`` enables the centralized design §3.1 *rejected*:
@@ -66,7 +69,13 @@ class SWEBCluster:
         self.rng = RandomStreams(seed=seed)
         self.sim = Simulator()
         self.trace = trace
-        self.metrics = Metrics()
+        #: per-request span tracer (docs/TRACING.md); observation-only,
+        #: so attaching one never alters simulation results
+        self.tracer = tracer
+        #: run-wide metrics registry every subsystem publishes into
+        #: (http.* from Metrics, loadd.*, cache.*; docs/METRICS.md)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics = Metrics(registry=self.registry)
         #: real HTML markup for pages (filled by html_site_corpus; used by
         #: the BrowserSession model to discover inline images)
         self.page_markup: dict[str, str] = {}
@@ -76,6 +85,10 @@ class SWEBCluster:
         self.nodes = built.nodes
         self.network = built.network
         self.fs = built.fs
+        # The file system is built by the topology layer, which knows
+        # nothing about observability; hand it the tracer afterwards so
+        # NFS/replica/peer-cache reads can record spans.
+        self.fs.tracer = tracer
         self.internet = built.internet
 
         self.cgi = cgi_registry if cgi_registry is not None else CGIRegistry()
@@ -113,7 +126,7 @@ class SWEBCluster:
             self.heat = FileHeat()
             self.replicator = ReplicationDaemon.from_params(
                 self.sim, self.nodes, self.fs, self.network, self.heat,
-                self.params, trace=self.trace)
+                self.params, trace=self.trace, registry=self.registry)
 
         # Per-node distributed state: view, broker, httpd, loadd.
         self.views: dict[int, ClusterView] = {
@@ -124,7 +137,7 @@ class SWEBCluster:
         self.loadds: dict[int, LoadDaemon] = {
             n.id: LoadDaemon(self.sim, n, self.views[n.id], self.views,
                              self.network, params=self.params,
-                             trace=self.trace,
+                             trace=self.trace, registry=self.registry,
                              directory=self.directories.get(n.id),
                              peer_directories=self.directories)
             for n in self.nodes}
@@ -139,7 +152,7 @@ class SWEBCluster:
                              self.policy, self.brokers[n.id],
                              cgi_registry=self.cgi, params=self.params,
                              backlog=backlog, trace=self.trace,
-                             heat=self.heat)
+                             tracer=tracer, heat=self.heat)
             for n in self.nodes}
         # Wire the httpds together for the forwarding mechanism.
         for server in self.servers.values():

@@ -104,9 +104,14 @@ class ScenarioResult:
         return self.cluster.page_cache_stats()
 
     def p95_response_time(self) -> float:
-        """95th-percentile response time over completed requests."""
-        tally = self.metrics.response_times()
-        return tally.percentile(95) if tally.count else 0.0
+        """95th-percentile response time over completed requests.
+
+        Routed through ``Metrics.response_percentile`` (and from there
+        the shared ``repro.obs.percentiles`` helper) rather than a
+        local re-derivation."""
+        if not self.metrics.response_times().count:
+            return 0.0
+        return self.metrics.response_percentile(95)
 
     @property
     def replications(self) -> int:
@@ -161,6 +166,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         backlog=scenario.backlog,
         dns_ttl=scenario.dns_ttl,
         trace=scenario.trace,
+        tracer=scenario.tracer,
         dispatcher=scenario.dispatcher,
     )
     scenario.corpus.install(cluster)

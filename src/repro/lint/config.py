@@ -13,36 +13,40 @@ from fnmatch import fnmatch
 
 __all__ = ["DEFAULT_CONFIG", "LAYERS", "LAYER_ALLOWED", "LintConfig"]
 
-#: The eight library layers, bottom-up.  Top-level side modules
+#: The nine library layers, bottom-up.  Top-level side modules
 #: (``cli``, ``config``, ``bench``) and :mod:`repro.lint` itself sit
 #: beside the stack and are exempt from the layering rules.
 LAYERS: tuple[str, ...] = (
-    "sim", "cluster", "cache", "faults", "web", "core", "workload",
+    "obs", "sim", "cluster", "cache", "faults", "web", "core", "workload",
     "experiments",
 )
 
 #: layer -> the set of *other* layers it may import at runtime.
-#: This is the enforced DAG:  sim → cluster → cache → {faults, web} →
-#: core → workload → experiments.  ``TYPE_CHECKING``-gated imports are
-#: exempt (typing-only; they cannot affect runtime behaviour or
-#: determinism).
+#: This is the enforced DAG:  obs → sim → cluster → cache →
+#: {faults, web} → core → workload → experiments.  ``obs`` sits at the
+#: very bottom (pure data structures, no engine dependency) so *every*
+#: layer — including ``sim``, whose stats route percentile math through
+#: it — may publish spans and metrics into it.  ``TYPE_CHECKING``-gated
+#: imports are exempt (typing-only; they cannot affect runtime behaviour
+#: or determinism).
 LAYER_ALLOWED: dict[str, frozenset[str]] = {
-    "sim": frozenset(),
-    "cluster": frozenset({"sim"}),
-    "cache": frozenset({"sim", "cluster"}),
-    "faults": frozenset({"sim", "cluster", "cache"}),
-    "web": frozenset({"sim", "cluster", "cache"}),
-    "core": frozenset({"sim", "cluster", "cache", "faults", "web"}),
-    "workload": frozenset({"sim", "cluster", "cache", "faults", "web",
+    "obs": frozenset(),
+    "sim": frozenset({"obs"}),
+    "cluster": frozenset({"obs", "sim"}),
+    "cache": frozenset({"obs", "sim", "cluster"}),
+    "faults": frozenset({"obs", "sim", "cluster", "cache"}),
+    "web": frozenset({"obs", "sim", "cluster", "cache"}),
+    "core": frozenset({"obs", "sim", "cluster", "cache", "faults", "web"}),
+    "workload": frozenset({"obs", "sim", "cluster", "cache", "faults", "web",
                            "core"}),
-    "experiments": frozenset({"sim", "cluster", "cache", "faults", "web",
-                              "core", "workload"}),
+    "experiments": frozenset({"obs", "sim", "cluster", "cache", "faults",
+                              "web", "core", "workload"}),
 }
 
 #: Layers whose code is sim-reachable: time must come from the engine
 #: clock (``sim.now``) and randomness from ``repro.sim.rng``.
 DETERMINISM_LAYERS: tuple[str, ...] = (
-    "sim", "cluster", "cache", "core", "web", "faults",
+    "obs", "sim", "cluster", "cache", "core", "web", "faults",
 )
 
 #: Files allowed to talk to a terminal or the filesystem: the CLI, the

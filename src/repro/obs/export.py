@@ -1,0 +1,141 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a text flame rollup.
+
+Both exporters are pure functions from collected traces to strings —
+they never touch the filesystem (the CLI owns all I/O), and their output
+is bit-stable across identical seeded runs (``sort_keys`` JSON, no wall
+clock, no dict-order dependence), which the golden test pins.
+
+Chrome layout convention: one *process* lane per cluster node (pid =
+node id + 1; pid 0 is the client/WAN side) so chrome://tracing and
+Perfetto render the request's hops across machines as nested slices in
+per-node swimlanes; the *thread* id is the request id, grouping one
+request's spans onto one row within its lane.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+from .spans import RequestTrace, Span
+
+__all__ = ["CLIENT_PID", "chrome_trace", "render_chrome_trace",
+           "flame_rollup"]
+
+#: The pid lane for client/WAN-side spans (nodes get ``node_id + 1``).
+CLIENT_PID = 0
+
+
+def _pid(span: Span) -> int:
+    return CLIENT_PID if span.node is None else span.node + 1
+
+
+def _clip_end(span: Span, root: Optional[Span]) -> Optional[float]:
+    """Span end, clipped into its request's root window.
+
+    A request that times out closes its root at the deadline while
+    server-side handlers keep running; clipping keeps the exported
+    nesting well-formed without hiding that the span existed.
+    """
+    if span.end is None:
+        return None
+    if root is None or root.end is None or span is root:
+        return span.end
+    return min(span.end, root.end)
+
+
+def chrome_trace(traces: Iterable[RequestTrace]) -> dict[str, Any]:
+    """Chrome ``trace_event`` document (the JSON Object Format).
+
+    Every closed span becomes one complete event (``"ph": "X"``) with
+    microsecond ``ts``/``dur``; per-node process-name metadata events
+    label the lanes.  Open spans (a request cut off by the end of the
+    run) are skipped rather than guessed at.
+    """
+    events: list[dict[str, Any]] = []
+    pids: dict[int, str] = {}
+    for trace in traces:
+        root = trace.root
+        for span in trace:
+            end = _clip_end(span, root)
+            if end is None:
+                continue
+            pid = _pid(span)
+            pids.setdefault(pid, "client/WAN" if pid == CLIENT_PID
+                            else f"node {pid - 1}")
+            args: dict[str, Any] = {"stage": span.stage}
+            args.update(span.tags)
+            events.append({
+                "name": span.name,
+                "cat": span.stage,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(max(0.0, end - span.start) * 1e6, 3),
+                "pid": pid,
+                "tid": trace.req_id,
+                "args": args,
+            })
+    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": label}}
+            for pid, label in sorted(pids.items())]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "sweb-repro obs",
+                      "clock": "simulated seconds -> microseconds"},
+    }
+
+
+def render_chrome_trace(traces: Iterable[RequestTrace]) -> str:
+    """The Chrome trace document as deterministic, pretty-printed JSON."""
+    return json.dumps(chrome_trace(traces), sort_keys=True, indent=1) + "\n"
+
+
+def flame_rollup(traces: Iterable[RequestTrace],
+                 max_depth: int = 6) -> str:
+    """Flamegraph-style text rollup: time per span-name path.
+
+    Aggregates every span's duration under its name path (``request;
+    fulfill;nfs_transfer``...), then renders an indented tree with total
+    seconds, share of the root total, and call counts — the quick "where
+    did the time go" answer without leaving the terminal.
+    """
+    totals: dict[tuple[str, ...], float] = {}
+    counts: dict[tuple[str, ...], int] = {}
+
+    def walk(trace: RequestTrace, span: Span, prefix: tuple[str, ...]) -> None:
+        path = prefix + (span.name,)
+        if len(path) > max_depth or not span.closed:
+            return
+        end = _clip_end(span, trace.root)
+        duration = max(0.0, (end if end is not None else span.start)
+                       - span.start)
+        totals[path] = totals.get(path, 0.0) + duration
+        counts[path] = counts.get(path, 0) + 1
+        for child in trace.children(span):
+            walk(trace, child, path)
+
+    for trace in traces:
+        root = trace.root
+        if root is not None:
+            walk(trace, root, ())
+    if not totals:
+        return "(no traces collected)\n"
+    grand = sum(v for path, v in totals.items() if len(path) == 1) or 1.0
+
+    lines = [f"{'total(s)':>10}  {'share':>6}  {'count':>6}  span"]
+
+    def render(path: tuple[str, ...]) -> None:
+        indent = "  " * (len(path) - 1)
+        lines.append(f"{totals[path]:10.4f}  {totals[path] / grand:6.1%}  "
+                     f"{counts[path]:6d}  {indent}{path[-1]}")
+        kids = sorted((p for p in totals
+                       if len(p) == len(path) + 1 and p[:-1] == path),
+                      key=lambda p: (-totals[p], p[-1]))
+        for kid in kids:
+            render(kid)
+
+    for top in sorted((p for p in totals if len(p) == 1),
+                      key=lambda p: (-totals[p], p[-1])):
+        render(top)
+    return "\n".join(lines) + "\n"

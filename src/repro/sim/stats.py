@@ -14,6 +14,12 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+# Percentile math is deliberately not implemented here: repro.obs (the
+# dependency-free observability layer below sim) owns the one shared
+# implementation, so Summary, Tally, histograms and reports can never
+# disagree about what "p95" means.
+from ..obs.percentiles import percentiles as _percentiles
+
 __all__ = ["Summary", "Tally", "TimeWeighted", "Counter", "PhaseAccumulator"]
 
 
@@ -41,7 +47,7 @@ class Summary:
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
             return Summary.empty()
-        p50, p90, p99 = np.percentile(arr, [50, 90, 99])
+        p50, p90, p99 = _percentiles(arr, (50, 90, 99))
         return Summary(
             count=int(arr.size),
             mean=float(arr.mean()),
@@ -81,9 +87,7 @@ class Tally:
         return float(np.sum(self.values)) if self.values else 0.0
 
     def percentile(self, q: float) -> float:
-        if not self.values:
-            return float("nan")
-        return float(np.percentile(self.values, q))
+        return _percentiles(self.values, (q,))[0]
 
     def summary(self) -> Summary:
         return Summary.of(self.values)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
 from ..cluster.network import WANPath
+from ..obs import Span
 from ..sim import AnyOf, Event
 from .http import HTTPRequest, HTTPResponse
 from .metrics import Metrics, RequestRecord
@@ -78,18 +79,42 @@ class Client:
         return self.cluster.sim.spawn(self._fetch(path, method, body_bytes),
                                       name=f"client.{self.profile.name}")
 
+    # -- tracing helpers ------------------------------------------------------
+    def _span(self, parent: Optional[Span], name: str, stage: str,
+              **tags) -> Optional[Span]:
+        """Open a client-side (node-less) span under ``parent``."""
+        tracer = self.cluster.tracer
+        if tracer is None:
+            return None
+        return tracer.start(parent, name, self.cluster.sim.now, stage, **tags)
+
+    def _end(self, span: Optional[Span], **tags) -> None:
+        """Close ``span`` at the current sim time (None-safe)."""
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.finish(span, self.cluster.sim.now, **tags)
+
     # -- the request state machine ------------------------------------------
-    def _resolve(self):
+    def _resolve(self, span: Optional[Span] = None):
         """One DNS exchange; returns the resolved node id.
 
-        Raises ``LookupError`` when the zone is empty (every server
-        deregistered)."""
+        ``span`` is the enclosing trace span: the pick and cache-hit
+        flag are tagged onto it.  Raises ``LookupError`` when the zone
+        is empty (every server deregistered)."""
         sim = self.cluster.sim
+        tracer = self.cluster.tracer
         if self.resolver is not None:
-            node_id = yield self.resolver.resolve()
+            before = self.resolver.cache_hits
+            node_id = yield self.resolver.resolve(ctx=span)
+            if tracer is not None:
+                tracer.annotate(span, node=node_id,
+                                cache_hit=self.resolver.cache_hits > before)
         else:
             yield sim.timeout(self.cluster.dns.lookup_latency)
-            node_id = self.cluster.dns.resolve(self.profile.domain)
+            node_id, from_cache = self.cluster.dns.resolve_ex(
+                self.profile.domain)
+            if tracer is not None:
+                tracer.annotate(span, node=node_id, cache_hit=from_cache)
         return node_id
 
     def _fetch(self, path: str, method: str = "GET",
@@ -100,6 +125,9 @@ class Client:
                 if self.cluster.fs.exists(path) else 0.0)
         rec = self.metrics.new_record(path, start=sim.now,
                                       client=self.profile.name, size=size)
+        tracer = self.cluster.tracer
+        root = (tracer.begin(rec.req_id, path, self.profile.name, sim.now)
+                if tracer is not None else None)
         deadline = sim.timeout(self.timeout)
         # Graceful degradation: a refused or reset connection is retried
         # (after exponential backoff, at a freshly-resolved node) instead
@@ -109,11 +137,15 @@ class Client:
 
         # --- DNS: Figure 1's first exchange ---------------------------------
         t0 = sim.now
+        dns_span = self._span(root, "dns", "network")
         try:
-            node_id = yield from self._resolve()
+            node_id = yield from self._resolve(dns_span)
         except LookupError:
+            self._end(dns_span, error="empty_zone")
+            self._end(root, outcome="dropped", reason="dns")
             self.metrics.drop(rec, sim.now, reason="dns")
             return rec
+        self._end(dns_span)
         rec.dns_node = node_id
         rec.add_phase("network", sim.now - t0)
         if self.cluster.trace is not None:
@@ -133,26 +165,37 @@ class Client:
 
             # --- TCP connect: one WAN round trip + server setup ----------
             t1 = sim.now
+            # The connect span ends at accept time: from there on the
+            # server's own spans (also children of the root) take over,
+            # overlapping the client's final request-shipping WAN leg.
+            cspan = self._span(
+                root, "connect" if hop == 0 else "redirect_connect",
+                phase, node=None, target=node_id)
             yield sim.timeout(2 * self.profile.wan.latency
                               + self.cluster.params.connect_time)
-            conn = self._connection(request_text, rec, hop, body_bytes)
+            conn = self._connection(request_text, rec, hop, body_bytes,
+                                    span=root)
             if not server.try_accept(conn):
+                self._end(cspan, refused=True)
                 rec.add_phase(phase, sim.now - t1)
                 if retries_left > 0:
                     retries_left -= 1
                     try:
                         node_id = yield from self._retry(rec, node_id,
-                                                         "refused")
+                                                         "refused", root)
                     except LookupError:
+                        self._end(root, outcome="dropped", reason="dns")
                         self.metrics.drop(rec, sim.now, reason="dns")
                         return rec
                     continue
+                self._end(root, outcome="dropped", reason="refused")
                 self.metrics.drop(rec, sim.now, reason="refused")
                 if self.cluster.trace is not None:
                     self.cluster.trace.emit(sim.now, "http",
                                             f"client-{rec.req_id}",
                                             "refused", node=node_id)
                 return rec
+            self._end(cspan)
             # --- ship the request line + headers (small, one way) ---------
             yield sim.timeout(self.profile.wan.latency)
             rec.add_phase(phase, sim.now - t1)
@@ -160,6 +203,7 @@ class Client:
             # --- wait for the full response, bounded by the deadline ------
             yield AnyOf(sim, [conn.reply, deadline])
             if not conn.reply.triggered:
+                self._end(root, outcome="dropped", reason="timeout")
                 self.metrics.drop(rec, sim.now, reason="timeout")
                 if self.cluster.trace is not None:
                     self.cluster.trace.emit(sim.now, "http",
@@ -176,11 +220,13 @@ class Client:
                     retries_left -= 1
                     try:
                         node_id = yield from self._retry(rec, node_id,
-                                                         "reset")
+                                                         "reset", root)
                     except LookupError:
+                        self._end(root, outcome="dropped", reason="dns")
                         self.metrics.drop(rec, sim.now, reason="dns")
                         return rec
                     continue
+                self._end(root, outcome="dropped", reason="reset")
                 self.metrics.drop(rec, sim.now, reason="reset")
                 if self.cluster.trace is not None:
                     self.cluster.trace.emit(sim.now, "http",
@@ -198,6 +244,8 @@ class Client:
                                             "follow_redirect", to=node_id)
                 hop = 1
                 continue
+            self._end(root, outcome="ok", status=response.status,
+                      served_by=rec.served_by)
             self.metrics.finish(rec, sim.now, response.status)
             if self.cluster.trace is not None:
                 self.cluster.trace.emit(sim.now, "http",
@@ -206,7 +254,8 @@ class Client:
                                         node=node_id)
             return rec
 
-    def _retry(self, rec: RequestRecord, failed_node: int, reason: str):
+    def _retry(self, rec: RequestRecord, failed_node: int, reason: str,
+               root: Optional[Span] = None):
         """Back off exponentially, re-resolve DNS, and report the new node.
 
         The delay is ``retry_backoff * 2^k`` for the k-th retry of this
@@ -222,14 +271,20 @@ class Client:
                                     "retry", reason=reason, node=failed_node,
                                     backoff=round(delay, 3))
         t0 = sim.now
+        span = self._span(root, "retry", "network", reason=reason,
+                          failed_node=failed_node, backoff=round(delay, 6))
         if delay > 0:
             yield sim.timeout(delay)
-        node_id = yield from self._resolve()
+        try:
+            node_id = yield from self._resolve(span)
+        finally:
+            self._end(span)
         rec.add_phase("network", sim.now - t0)
         return node_id
 
     def _connection(self, request_text: str, rec: RequestRecord,
-                    hop: int, body_bytes: float = 0.0) -> Connection:
+                    hop: int, body_bytes: float = 0.0,
+                    span: Optional[Span] = None) -> Connection:
         return Connection(
             raw_request=request_text,
             wan=self.profile.wan,
@@ -237,4 +292,5 @@ class Client:
             reply=Event(self.cluster.sim),
             redirects_left=max(0, self.cluster.params.max_redirects - hop),
             body_bytes=body_bytes,
+            span=span,
         )

@@ -60,19 +60,25 @@ class RoundRobinDNS:
     # -- resolution -----------------------------------------------------------
     def resolve(self, domain: str = "default") -> int:
         """Resolve the server name as seen from ``domain``'s local resolver."""
+        return self.resolve_ex(domain)[0]
+
+    def resolve_ex(self, domain: str = "default") -> tuple[int, bool]:
+        """Like :meth:`resolve`, but also report whether the answer came
+        from ``domain``'s cache — ``(address, from_cache)``.  Tracing
+        uses the flag to tag DNS spans without re-deriving cache state."""
         self.queries += 1
         if self.ttl > 0:
             cached = self._cache.get(domain)
             if cached is not None and cached[1] > self.sim.now:
                 self.cache_hits += 1
-                return cached[0]
+                return cached[0], True
         if not self.addresses:
             raise LookupError("no addresses registered")
         address = self.addresses[self._cursor % len(self.addresses)]
         self._cursor += 1
         if self.ttl > 0:
             self._cache[domain] = (address, self.sim.now + self.ttl)
-        return address
+        return address, False
 
     @property
     def cache_hit_rate(self) -> float:

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..sim import Counter, PhaseAccumulator, Summary, Tally
+from ..obs import LATENCY_BUCKETS, MetricsRegistry, percentile
+from ..sim import PhaseAccumulator, Summary, Tally
 
 __all__ = ["RequestRecord", "Metrics", "PHASE_NAMES"]
 
@@ -64,9 +65,20 @@ class RequestRecord:
 class Metrics:
     """Aggregates request records into the paper's reported quantities."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.records: list[RequestRecord] = []
-        self.counters = Counter()
+        #: the run-wide metrics registry this aggregator publishes into;
+        #: a private one is created for standalone Metrics() use
+        #: (SWEBCluster always passes the cluster's shared registry)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: request-lifecycle counters, registered as the ``http.*``
+        #: namespace of :attr:`registry` (same incr/[]/as_dict API the
+        #: old ad-hoc ``sim.stats.Counter`` had)
+        self.counters = self.registry.counters("http")
+        #: completed-request latency histogram (fixed buckets, so p50 /
+        #: p95 / p99 are available without rescanning the records)
+        self.response_histogram = self.registry.histogram(
+            "http.response_time_s", bounds=LATENCY_BUCKETS)
         self._next_id = 0
         #: node id -> page-cache counters, installed post-run by
         #: :func:`repro.experiments.runner.run_scenario` via
@@ -91,6 +103,9 @@ class Metrics:
         self.counters.incr(f"status_{status}")
         if rec.ok:
             self.counters.incr("completed")
+            response_time = rec.response_time
+            if response_time is not None:
+                self.response_histogram.record(response_time)
         if rec.redirected:
             self.counters.incr("redirected")
 
@@ -133,6 +148,15 @@ class Metrics:
 
     def mean_response_time(self) -> float:
         return self.response_times().mean
+
+    def response_percentile(self, q: float, only_ok: bool = True) -> float:
+        """Exact response-time percentile over completed requests.
+
+        Routes through the shared :mod:`repro.obs.percentiles` helper —
+        the same math as :class:`Summary` — so reports quoting "p95"
+        can never disagree with the summary table (``nan`` when no
+        requests completed)."""
+        return percentile(self.response_times(only_ok=only_ok).values, q)
 
     def throughput(self, duration: float) -> float:
         """Completed requests per second over ``duration``."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..cluster.network import WANPath
+from ..obs import Span, Tracer
 from ..sim import Event, Simulator, Trace
 
 __all__ = ["AuthoritativeDNS", "LocalResolver"]
@@ -71,13 +72,17 @@ class LocalResolver:
                  wan: Optional[WANPath] = None,
                  local_latency: float = 1e-3,
                  domain: str = "client.example.edu",
-                 trace: Optional[Trace] = None) -> None:
+                 trace: Optional[Trace] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.sim = sim
         self.authoritative = authoritative
         self.wan = wan
         self.local_latency = float(local_latency)
         self.domain = domain
         self.trace = trace
+        #: per-request span tracer; when set, resolutions called with a
+        #: ``ctx`` span record their cache/upstream legs as child spans
+        self.tracer = tracer
         self._cache: Optional[tuple[int, float]] = None   # (address, expiry)
         self.queries = 0
         self.cache_hits = 0
@@ -87,28 +92,42 @@ class LocalResolver:
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.queries if self.queries else 0.0
 
-    def resolve(self, hostname: str = "sweb.cs.ucsb.edu") -> Event:
+    def resolve(self, hostname: str = "sweb.cs.ucsb.edu",
+                ctx: Optional[Span] = None) -> Event:
         """Asynchronous resolution; the event's value is the node address.
 
         Cache hits cost only the LAN hop to the resolver; misses add a
-        WAN round trip to the authoritative server.
+        WAN round trip to the authoritative server.  When a tracer is
+        wired in, ``ctx`` is the caller's span and each resolution leg
+        (local cache probe, authoritative query) nests under it.
         """
         done = Event(self.sim)
 
         def pump():
             self.queries += 1
+            sp = (self.tracer.start(ctx, "resolver_cache", self.sim.now,
+                                    "network", domain=self.domain)
+                  if self.tracer is not None else None)
             yield self.sim.timeout(self.local_latency)
             if self._cache is not None and self._cache[1] > self.sim.now:
                 self.cache_hits += 1
+                if self.tracer is not None:
+                    self.tracer.finish(sp, self.sim.now, hit=True,
+                                       address=self._cache[0])
                 if self.trace is not None:
                     self.trace.emit(self.sim.now, "dns", self.domain,
                                     "cache_hit", address=self._cache[0])
                 done.succeed(self._cache[0])
                 return
+            if self.tracer is not None:
+                self.tracer.finish(sp, self.sim.now, hit=False)
             # Recursive query to the destination side (Figure 1's second
             # DNS exchange): one WAN round trip plus the answer latency.
             self.upstream_queries += 1
             rtt = 2 * self.wan.latency if self.wan is not None else 0.0
+            sp = (self.tracer.start(ctx, "authoritative_query", self.sim.now,
+                                    "network", server=self.authoritative.name)
+                  if self.tracer is not None else None)
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "dns", self.domain,
                                 "query_authoritative",
@@ -117,10 +136,14 @@ class LocalResolver:
             try:
                 address, ttl = self.authoritative.answer()
             except LookupError as exc:
+                if self.tracer is not None:
+                    self.tracer.finish(sp, self.sim.now, error="empty_zone")
                 done.fail(exc)
                 return
             if ttl > 0:
                 self._cache = (address, self.sim.now + ttl)
+            if self.tracer is not None:
+                self.tracer.finish(sp, self.sim.now, address=address, ttl=ttl)
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "dns", self.domain,
                                 "authoritative_answer", address=address,

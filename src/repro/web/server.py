@@ -16,6 +16,7 @@ from ..cache import FileHeat
 from ..cluster.network import Internet, WANPath
 from ..cluster.node import Node
 from ..cluster.filesystem import DistributedFileSystem
+from ..obs import Span, Tracer
 from ..sim import Event, Simulator, Trace
 from ..sim.trace import DETAIL as TRACE_DETAIL
 
@@ -51,6 +52,10 @@ class Connection:
     #: of straight onto the Internet (the "request forwarding" mechanism
     #: §3.1 considered and rejected for the real implementation).
     relay_to: Optional["HTTPServer"] = None
+    #: parent span server-side spans hang off (the request's root for a
+    #: direct connection, the forward span for a relayed one); ``None``
+    #: when tracing is off or the request was not sampled
+    span: Optional[Span] = None
 
     @property
     def client_latency(self) -> float:
@@ -67,7 +72,8 @@ class HTTPServer:
                  params: Optional["CostParameters"] = None,
                  backlog: int = 64, hostname: Optional[str] = None,
                  trace: Optional[Trace] = None,
-                 heat: Optional[FileHeat] = None) -> None:
+                 heat: Optional[FileHeat] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if backlog < 1:
             raise ValueError(f"backlog must be >= 1, got {backlog}")
         if params is None:
@@ -89,6 +95,9 @@ class HTTPServer:
         self.backlog = backlog
         self.hostname = hostname or f"sweb{node.id}.cs.ucsb.edu"
         self.trace = trace
+        #: per-request span tracer (repro.obs); purely observational —
+        #: span bookkeeping reads the sim clock but never schedules
+        self.tracer = tracer
         #: cluster-shared per-file request counters feeding the
         #: replication daemon's skew detector (docs/CACHING.md)
         self.heat = heat
@@ -135,12 +144,27 @@ class HTTPServer:
                             "reset_connections", count=reset)
         return reset
 
+    # -- tracing helpers ------------------------------------------------------
+    def _span(self, conn: Connection, name: str, stage: str,
+              **tags) -> Optional[Span]:
+        """Open a child span under the connection's span (None-safe)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.start(conn.span, name, self.sim.now, stage,
+                                 node=self.node.id, **tags)
+
+    def _span_end(self, span: Optional[Span], **tags) -> None:
+        """Close ``span`` at the current sim time (None-safe)."""
+        if self.tracer is not None:
+            self.tracer.finish(span, self.sim.now, **tags)
+
     # -- the §3.2 request pipeline ----------------------------------------------
     def _handle(self, conn: Connection):
         rec = conn.record
         try:
             # ---- step 1: preprocess ------------------------------------
             t0 = self.sim.now
+            sp = self._span(conn, "preprocess", "preprocessing")
             # fork the handling process, then parse the HTTP command,
             # complete the pathname and determine permissions.
             yield self.node.compute(self.params.fork_ops, category="fork")
@@ -150,11 +174,13 @@ class HTTPServer:
                 yield self.node.compute(self.params.preprocess_ops,
                                         category="parsing")
                 rec.add_phase("preprocessing", self.sim.now - t0)
+                self._span_end(sp, error="bad_request")
                 yield from self._respond(conn, HTTPResponse(status=400))
                 return
             yield self.node.compute(self.params.preprocess_ops,
                                     category="parsing")
             rec.add_phase("preprocessing", self.sim.now - t0)
+            self._span_end(sp)
 
             if request.method == "POST" and self.params.enable_post:
                 # The extension the paper names as future work: POST is
@@ -179,12 +205,18 @@ class HTTPServer:
             decision = None
             if may_move:
                 t1 = self.sim.now
+                sp = self._span(conn, "analyze", "analysis")
                 if self.policy.consults_broker:
                     yield self.node.compute(self.params.analysis_ops,
                                             category="scheduling")
                 decision = self.policy.decide(self.broker, path,
                                               conn.client_latency)
                 rec.add_phase("analysis", self.sim.now - t1)
+                if decision is not None and self.tracer is not None:
+                    # Per-candidate cost estimates become span tags, so a
+                    # trace shows *why* the broker picked its node.
+                    self.tracer.annotate(sp, **decision.estimate_tags())
+                self._span_end(sp)
 
             # ---- step 3: redirection (or forwarding) -------------------------
             if decision is not None and decision.chosen != self.node.id:
@@ -194,12 +226,15 @@ class HTTPServer:
                     return
                 if target is not None:
                     t2 = self.sim.now
+                    sp = self._span(conn, "redirect", "redirection",
+                                    to=decision.chosen)
                     yield self.node.compute(self.params.redirect_ops,
                                             category="scheduling")
                     response = redirect_response(
                         f"sweb{decision.chosen}.cs.ucsb.edu", path)
                     response.headers["X-SWEB-Node"] = str(decision.chosen)
                     rec.add_phase("redirection", self.sim.now - t2)
+                    self._span_end(sp)
                     self.redirects_issued += 1
                     if self.trace is not None:
                         self.trace.emit(self.sim.now, "http",
@@ -229,10 +264,14 @@ class HTTPServer:
         rec = conn.record
         network = self.fs.network
         t0 = self.sim.now
+        # The forward span stays open across the peer's whole handling so
+        # the peer's spans (which hang off the inner connection) nest
+        # inside it; it closes before _respond opens the send span.
+        fwspan = self._span(conn, "forward", "redirection", to=target_id)
         yield self.node.compute(self.params.redirect_ops, category="scheduling")
         inner = Connection(raw_request=conn.raw_request, wan=conn.wan,
                            record=rec, reply=Event(self.sim),
-                           redirects_left=0, relay_to=self)
+                           redirects_left=0, relay_to=self, span=fwspan)
         peer = self.peers.get(target_id)
         # Ship the request text across the fabric; fall back to local
         # service if the peer cannot take it.
@@ -240,6 +279,7 @@ class HTTPServer:
                                len(conn.raw_request), tag="fwd-req")
         rec.add_phase("redirection", self.sim.now - t0)
         if peer is None or not peer.try_accept(inner):
+            self._span_end(fwspan, fallback=True)
             request = HTTPRequest.parse(conn.raw_request)
             yield from self._fulfill(conn, request,
                                      self.cgi.is_cgi(request.path))
@@ -250,6 +290,7 @@ class HTTPServer:
             self.trace.emit(self.sim.now, "http", f"httpd-{self.node.id}",
                             "forward", to=target_id)
         response: HTTPResponse = yield inner.reply
+        self._span_end(fwspan)
         # The relayed response now leaves through *our* NIC.
         yield from self._respond(conn, response, phase="data_transfer")
 
@@ -261,27 +302,31 @@ class HTTPServer:
             yield from self._respond(conn, HTTPResponse(status=501))
             return
         t0 = self.sim.now
+        sp = self._span(conn, "upload", "network", bytes=conn.body_bytes)
         if conn.body_bytes > 0:
             # The body flows up the client's WAN path into our NIC.
             yield self.internet.send(self.node.nic, conn.wan,
                                      conn.body_bytes,
                                      tag=f"upload{rec.req_id}")
         rec.add_phase("network", self.sim.now - t0)
+        self._span_end(sp)
         yield from self._fulfill(conn, request, is_cgi=True)
 
     def _fulfill(self, conn: Connection, request: HTTPRequest, is_cgi: bool):
         rec = conn.record
         path = request.path
         t0 = self.sim.now
+        sp = self._span(conn, "fulfill", "data_transfer", cgi=is_cgi)
         if is_cgi:
             prog = self.cgi.lookup(path)
             # A CGI may scan a data file before computing.
             if prog.reads_path is not None and self.fs.exists(prog.reads_path):
-                yield self.fs.read(prog.reads_path, at_node=self.node.id)
+                yield self.fs.read(prog.reads_path, at_node=self.node.id,
+                                   ctx=sp)
             yield self.node.compute(prog.cpu_ops, category="cgi")
             body = prog.output_bytes
         else:
-            outcome = yield self.fs.read(path, at_node=self.node.id)
+            outcome = yield self.fs.read(path, at_node=self.node.id, ctx=sp)
             body = outcome.nbytes
             rec.source = outcome.source
             if self.heat is not None:
@@ -294,6 +339,7 @@ class HTTPServer:
         if request.method == "HEAD":
             response.body_bytes = 0.0
         rec.add_phase("data_transfer", self.sim.now - t0)
+        self._span_end(sp, source=rec.source, bytes=body)
         rec.served_by = self.node.id
         # Feed the measured cost back to a learning oracle, if one is
         # installed (AdaptiveOracle; plain Oracle has no observe()).
@@ -316,6 +362,8 @@ class HTTPServer:
             # mid-pipeline: the client already got its 503; nothing to send.
             return
         t0 = self.sim.now
+        sp = self._span(conn, "send", phase, status=response.status,
+                        bytes=response.wire_bytes)
         if conn.relay_to is not None:
             # Forwarded request: relay the response across the fabric to
             # the origin node, which owns the client connection.
@@ -333,6 +381,7 @@ class HTTPServer:
             yield wire & stack
         else:
             yield wire
+        self._span_end(sp)
         if conn.reply.triggered:
             # Reset while the response was on the wire: the client already
             # saw the 503 and moved on.

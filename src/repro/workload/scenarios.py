@@ -25,6 +25,7 @@ from typing import Callable, Optional, Union
 from ..cluster import ClusterSpec, meiko_cs2, sun_now
 from ..core import CostParameters, SchedulingPolicy
 from ..faults import FaultPlan
+from ..obs import Tracer
 from ..sim import RandomStreams, Trace
 from ..web import ClientProfile, RUTGERS_CLIENT, UCSB_CLIENT
 from .corpus import (
@@ -79,6 +80,10 @@ class Scenario:
     profiles: dict[str, ClientProfile] = field(
         default_factory=lambda: dict(DEFAULT_PROFILES))
     trace: Optional[Trace] = None
+    #: per-request span tracer (repro.obs); None = tracing off.  Purely
+    #: observational — attaching one never changes simulation results
+    #: (pinned against the determinism golden).
+    tracer: Optional[Tracer] = None
 
     def with_policy(self, policy: str) -> "Scenario":
         return replace(self, policy=policy,

@@ -75,3 +75,82 @@ def test_cli_replay_empty_log(tmp_path, capsys):
     log = tmp_path / "empty_log"
     log.write_text("not a log\n")
     assert main(["replay", str(log)]) == 1
+
+
+# -- observability flags (docs/TRACING.md) ---------------------------------
+
+def test_parser_trace_flags():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--trace-requests", "0",
+                              "--trace-out", "t.json"])
+    assert args.trace_requests == 0 and args.trace_out == "t.json"
+    args = parser.parse_args(["trace"])
+    assert args.command == "trace"
+    assert args.experiment == "X10" and args.out == "trace.json"
+    assert args.requests is None and args.seed == 7
+    args = parser.parse_args(["trace", "T1", "-o", "x.json",
+                              "--requests", "5", "--flame"])
+    assert args.experiment == "T1" and args.out == "x.json"
+    assert args.requests == 5 and args.flame
+
+
+def test_parser_rejects_bad_trace_counts(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit) as err:
+        parser.parse_args(["serve", "--trace-requests", "-1"])
+    assert err.value.code == 2
+    with pytest.raises(SystemExit) as err:
+        parser.parse_args(["serve", "--trace-requests", "many"])
+    assert err.value.code == 2
+    with pytest.raises(SystemExit) as err:
+        parser.parse_args(["trace", "--requests", "0"])  # must be >= 1
+    assert err.value.code == 2
+    capsys.readouterr()
+
+
+def test_cli_trace_out_requires_trace_requests(capsys):
+    assert main(["serve", "--trace-out", "t.json"]) == 2
+    assert "--trace-out requires --trace-requests" in capsys.readouterr().err
+
+
+def test_cli_serve_with_tracing(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "serve_trace.json"
+    code = main(["serve", "--nodes", "2", "--rps", "2", "--duration", "3",
+                 "--file-size", "10000", "--files", "6",
+                 "--trace-requests", "3", "--trace-out", str(out)])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "traced 3 requests" in stdout
+    doc = json.loads(out.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_cli_serve_without_tracing_writes_nothing(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["serve", "--nodes", "2", "--rps", "2", "--duration", "3",
+                 "--file-size", "10000", "--files", "6"])
+    assert code == 0
+    assert "traced" not in capsys.readouterr().out
+    assert not (tmp_path / "trace.json").exists()
+
+
+def test_cli_trace_small_run(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "t1.json"
+    code = main(["trace", "T1", "-o", str(out), "--duration", "3",
+                 "--flame"])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "span sums reconcile with latency:" in stdout
+    assert "request" in stdout           # flame rollup printed
+    doc = json.loads(out.read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "request" in names and "fulfill" in names
+
+
+def test_cli_trace_unknown_experiment(tmp_path, capsys):
+    assert main(["trace", "BOGUS", "-o", str(tmp_path / "x.json")]) == 2
+    assert "unknown trace experiment" in capsys.readouterr().err

@@ -109,6 +109,29 @@ def test_experiments_deep_import_flagged(tmp_path):
     assert len(diags) == 1 and diags[0].line == 2
 
 
+def test_obs_sits_below_every_other_layer(tmp_path):
+    # obs is the pure bottom layer: importing anything above it is
+    # a layering violation...
+    code = '"""D."""\nfrom ..experiments import runner\n'
+    diags = _lint(tmp_path, "obs/x.py", code, rule="layer-import")
+    assert len(diags) == 1 and "repro.experiments" in diags[0].message
+    code = '"""D."""\nfrom ..sim import Simulator\n'
+    assert len(_lint(tmp_path, "obs/x.py", code, rule="layer-import")) == 1
+    # ...while every layer above may publish into it.
+    code = '"""D."""\nfrom ..obs import MetricsRegistry\n'
+    for layer in ("sim", "cluster", "cache", "faults", "web", "core",
+                  "workload", "experiments"):
+        assert _lint(tmp_path, f"{layer}/x.py", code,
+                     rule="layer-import") == []
+
+
+def test_obs_subject_to_determinism_rules(tmp_path):
+    # tracing timestamps must come from the sim clock, never the host's
+    code = '"""D."""\nimport time\n\ndef f():\n    return time.time()\n'
+    diags = _lint(tmp_path, "obs/x.py", code, rule="det-wall-clock")
+    assert len(diags) == 1
+
+
 # -- I/O hygiene ----------------------------------------------------------
 
 def test_print_flagged_in_library_code(tmp_path):
