@@ -56,18 +56,34 @@ def load_bench(path: Path) -> dict:
     return doc
 
 
+def phase_tier(name: str) -> str | None:
+    """The tier tag of a ``phase@TIER`` name, or None for base phases."""
+    _, sep, tier = name.partition("@")
+    return tier if sep else None
+
+
 def compare(base: dict, new: dict,
             threshold: float = DEFAULT_THRESHOLD) -> tuple[list[str], bool]:
     """Compare two loaded BENCH docs.
 
     Returns ``(report_lines, ok)``; ``ok`` is False on any regression.
-    Raises ``KeyError`` if a baseline phase is missing from ``new``.
+    Raises ``KeyError`` if a baseline *base* phase is missing from
+    ``new``.  Tier-tagged phases (``fluid_stream@L`` and friends) are
+    optional: plain ``sweb-repro bench`` runs skip them, so a tier phase
+    present only in the baseline is noted, not fatal — but when both
+    files carry it, it regresses like any other phase, with the tier
+    named in the verdict.
     """
     lines = [f"{'phase':<16} {'baseline/s':>14} {'new/s':>14} "
              f"{'speedup':>8}  verdict"]
     ok = True
+    skipped_tiers: list[str] = []
     for name, base_phase in base["phases"].items():
+        tier = phase_tier(name)
         if name not in new["phases"]:
+            if tier is not None:
+                skipped_tiers.append(name)
+                continue
             raise KeyError(f"phase {name!r} present in baseline but "
                            f"missing from the new BENCH file")
         new_phase = new["phases"][name]
@@ -76,6 +92,8 @@ def compare(base: dict, new: dict,
         ratio = new_rate / base_rate if base_rate > 0 else float("inf")
         if ratio < 1.0 - threshold:
             verdict = f"REGRESSION (>{threshold:.0%} slower)"
+            if tier is not None:
+                verdict += f" [tier {tier}]"
             ok = False
         elif ratio > 1.0 + threshold:
             verdict = "improved"
@@ -83,6 +101,9 @@ def compare(base: dict, new: dict,
             verdict = "ok"
         lines.append(f"{name:<16} {base_rate:>14,.0f} {new_rate:>14,.0f} "
                      f"{ratio:>7.2f}x  {verdict}")
+    if skipped_tiers:
+        lines.append(f"(tier phases not re-run, skipped: "
+                     f"{', '.join(skipped_tiers)})")
     extra = [n for n in new["phases"] if n not in base["phases"]]
     if extra:
         lines.append(f"(new phases not in baseline: {', '.join(extra)})")

@@ -19,6 +19,14 @@ Phases (see :data:`PHASES`):
 * ``coop_broker``     — cache-aware broker decisions against a seeded
   cooperative-cache directory (the repro.cache hot path).
 
+Tier phases (``--scale {S,M,L,XL}``, see :data:`TIERS` and
+``docs/SCALING.md``) additionally measure the million-request path:
+
+* ``fluid_stream@T``  — the aggregate client-population model
+  (:func:`repro.workload.run_fluid`), rated in sim-req/s;
+* ``shard_grid@T``    — a seeds-grid through the sharded runner
+  (:func:`repro.experiments.run_grid`) including the snapshot merge.
+
 ``run_bench(profile=True)`` additionally runs each phase under
 :mod:`cProfile` and reports the hottest functions plus a per-subsystem
 (``repro.sim`` / ``repro.web`` / ...) time split.
@@ -42,10 +50,30 @@ try:  # POSIX only; the bench degrades gracefully without it
 except ImportError:  # pragma: no cover - non-POSIX
     _resource = None
 
-__all__ = ["PHASES", "SCHEMA", "run_bench", "run_phase", "main"]
+__all__ = ["PHASES", "SCHEMA", "TIERS", "TIER_PHASES", "parse_scale",
+           "run_bench", "run_phase", "main"]
 
 #: Schema tag stamped into every BENCH file (bump on incompatible change).
 SCHEMA = "sweb-bench/1"
+
+#: ``--scale`` tier definitions: simulated request volumes for the
+#: fluid-stream phase and the sharded seeds-grid phase.  The grid always
+#: totals the same request count as the stream so the two rates compare
+#: directly (grid = stream + shard/merge overhead).
+TIERS: dict[str, dict[str, int]] = {
+    "S": {"fluid_requests": 100_000, "grid_cells": 4,
+          "grid_requests": 25_000},
+    "M": {"fluid_requests": 400_000, "grid_cells": 4,
+          "grid_requests": 100_000},
+    "L": {"fluid_requests": 1_000_000, "grid_cells": 4,
+          "grid_requests": 250_000},
+    "XL": {"fluid_requests": 4_000_000, "grid_cells": 8,
+           "grid_requests": 500_000},
+}
+
+#: offered rate for the tier phases: ~70 % utilisation of the default
+#: 6-node fluid cluster, the regime where broker decisions matter
+_TIER_RATE = 7_000.0
 
 
 # ---------------------------------------------------------------------------
@@ -176,6 +204,45 @@ def _phase_coop_broker(scale: float) -> tuple[int, str, dict[str, Any]]:
     return decisions, "decisions", {"nodes": 6, "hot_files": 16}
 
 
+def _make_fluid_stream(tier: str) -> Callable[[float],
+                                              tuple[int, str, dict[str, Any]]]:
+    def body(scale: float) -> tuple[int, str, dict[str, Any]]:
+        from .workload import FluidScenario, run_fluid
+
+        n = max(1, int(TIERS[tier]["fluid_requests"] * scale))
+        scenario = FluidScenario(name=f"bench-{tier}", n_requests=n,
+                                 rate=_TIER_RATE, seed=1)
+        res = run_fluid(scenario, keep_records=False)
+        return n, "sim-req", {
+            "tier": tier,
+            "events": res.event_count,
+            "redirected": res.redirected,
+            "fingerprint": res.fingerprint[:16],
+        }
+    return body
+
+
+def _make_shard_grid(tier: str) -> Callable[[float],
+                                            tuple[int, str, dict[str, Any]]]:
+    def body(scale: float) -> tuple[int, str, dict[str, Any]]:
+        from .experiments import make_fluid_grid, run_grid
+        from .workload import FluidScenario
+
+        cfg = TIERS[tier]
+        n = max(1, int(cfg["grid_requests"] * scale))
+        base = FluidScenario(name=f"grid-{tier}", n_requests=n,
+                             rate=_TIER_RATE, seed=1)
+        cells = make_fluid_grid(base, seeds=range(1, cfg["grid_cells"] + 1))
+        report = run_grid(cells)
+        return report.n_requests, "sim-req", {
+            "tier": tier,
+            "cells": len(cells),
+            "workers": report.workers,
+            "grid_fingerprint": report.grid_fingerprint[:16],
+        }
+    return body
+
+
 #: Ordered registry: phase name -> body.  ``bench_compare`` diffs by name.
 PHASES: dict[str, Callable[[float], tuple[int, str, dict[str, Any]]]] = {
     "timeout_chain": _phase_timeout_chain,
@@ -186,6 +253,35 @@ PHASES: dict[str, Callable[[float], tuple[int, str, dict[str, Any]]]] = {
     "coop_broker": _phase_coop_broker,
 }
 
+#: Tier-tagged phases, run only under ``--scale {S,M,L,XL}``.  The ``@``
+#: suffix marks them optional to ``scripts/bench_compare.py``: a tier
+#: phase present in the baseline but absent from the new file is noted,
+#: not fatal, since plain ``bench`` runs skip the tiers.
+TIER_PHASES: dict[str, Callable[[float], tuple[int, str, dict[str, Any]]]] = {}
+for _tier in TIERS:
+    TIER_PHASES[f"fluid_stream@{_tier}"] = _make_fluid_stream(_tier)
+    TIER_PHASES[f"shard_grid@{_tier}"] = _make_shard_grid(_tier)
+
+
+def parse_scale(value: Any) -> tuple[float, Optional[str]]:
+    """Interpret a ``--scale`` value: a float multiplier or a tier letter.
+
+    Returns ``(multiplier, tier)`` — tier is ``None`` for plain float
+    scales, and the multiplier is 1.0 for tier scales.
+    """
+    if isinstance(value, (int, float)):
+        return float(value), None
+    text = str(value).strip()
+    tier = text.upper()
+    if tier in TIERS:
+        return 1.0, tier
+    try:
+        return float(text), None
+    except ValueError:
+        raise ValueError(
+            f"--scale must be a float or one of {'/'.join(TIERS)}, "
+            f"got {value!r}") from None
+
 _SUBSYSTEMS = ("repro/sim", "repro/cluster", "repro/cache", "repro/web",
                "repro/core", "repro/faults", "repro/workload",
                "repro/experiments")
@@ -195,9 +291,17 @@ _SUBSYSTEMS = ("repro/sim", "repro/cluster", "repro/cache", "repro/web",
 # harness
 # ---------------------------------------------------------------------------
 
+def _phase_body(name: str) -> Callable[[float], tuple[int, str, dict[str, Any]]]:
+    """Look up a phase in the base registry, then the tier registry."""
+    body = PHASES.get(name) or TIER_PHASES.get(name)
+    if body is None:
+        raise KeyError(name)
+    return body
+
+
 def run_phase(name: str, repeats: int = 3, scale: float = 1.0) -> dict[str, Any]:
     """Time one phase ``repeats`` times; report the best (least-noise) run."""
-    body = PHASES[name]
+    body = _phase_body(name)
     best_wall = None
     units = 0
     unit = "units"
@@ -215,6 +319,10 @@ def run_phase(name: str, repeats: int = 3, scale: float = 1.0) -> dict[str, Any]
         "per_s": round(units / best_wall, 1) if best_wall > 0 else 0.0,
     }
     result.update(extras)
+    # Tier phases report kernel events alongside sim-requests; derive
+    # the events/s rate the BENCH record promises per tier.
+    if "events" in extras and best_wall > 0:
+        result["events_per_s"] = round(extras["events"] / best_wall, 1)
     return result
 
 
@@ -222,7 +330,7 @@ def _profile_phase(name: str, scale: float, top: int) -> str:
     """cProfile one phase: top-``top`` functions + per-subsystem split."""
     profiler = cProfile.Profile()
     profiler.enable()
-    PHASES[name](scale)
+    _phase_body(name)(scale)
     profiler.disable()
     stats = pstats.Stats(profiler, stream=io.StringIO())
     subsystem_time: dict[str, float] = {key: 0.0 for key in _SUBSYSTEMS}
@@ -262,11 +370,24 @@ def _peak_rss_kb() -> Optional[int]:
 
 def run_bench(repeats: int = 3, scale: float = 1.0, profile: bool = False,
               top: int = 20, phases: Optional[list[str]] = None,
-              stream=None) -> dict[str, Any]:
-    """Run the benchmark suite; return the BENCH document as a dict."""
+              stream=None, tier: Optional[str] = None) -> dict[str, Any]:
+    """Run the benchmark suite; return the BENCH document as a dict.
+
+    ``tier`` (one of :data:`TIERS`) appends that tier's ``fluid_stream@T``
+    and ``shard_grid@T`` phases to the run and stamps the tier into the
+    document.
+    """
     stream = stream if stream is not None else sys.stdout
-    names = list(PHASES) if not phases else phases
-    unknown = [p for p in names if p not in PHASES]
+    if tier is not None and tier not in TIERS:
+        raise KeyError(f"unknown tier {tier!r}; choose from {sorted(TIERS)}")
+    if phases:
+        names = list(phases)
+    else:
+        names = list(PHASES)
+        if tier is not None:
+            names += [f"fluid_stream@{tier}", f"shard_grid@{tier}"]
+    known = set(PHASES) | set(TIER_PHASES)
+    unknown = [p for p in names if p not in known]
     if unknown:
         raise KeyError(f"unknown phase(s): {', '.join(unknown)}")
     doc: dict[str, Any] = {
@@ -276,6 +397,8 @@ def run_bench(repeats: int = 3, scale: float = 1.0, profile: bool = False,
         "scale": scale,
         "phases": {},
     }
+    if tier is not None:
+        doc["tier"] = tier
     total_wall = 0.0
     for name in names:
         result = run_phase(name, repeats=repeats, scale=scale)
@@ -296,12 +419,17 @@ def run_bench(repeats: int = 3, scale: float = 1.0, profile: bool = False,
 
 
 def main(out: Optional[str] = "BENCH_kernel.json", repeats: int = 3,
-         scale: float = 1.0, profile: bool = False, top: int = 20,
+         scale: Any = 1.0, profile: bool = False, top: int = 20,
          phases: Optional[list[str]] = None) -> int:
-    """Entry point used by ``sweb-repro bench``."""
-    print(f"sweb-repro bench (repeats={repeats}, scale={scale:g})")
-    doc = run_bench(repeats=repeats, scale=scale, profile=profile, top=top,
-                    phases=phases)
+    """Entry point used by ``sweb-repro bench``.
+
+    ``scale`` accepts a float multiplier or a tier letter (S/M/L/XL).
+    """
+    multiplier, tier = parse_scale(scale)
+    label = tier if tier is not None else f"{multiplier:g}"
+    print(f"sweb-repro bench (repeats={repeats}, scale={label})")
+    doc = run_bench(repeats=repeats, scale=multiplier, profile=profile,
+                    top=top, phases=phases, tier=tier)
     totals = doc["totals"]
     rss = totals["peak_rss_kb"]
     if totals["events_per_s"]:

@@ -99,8 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output JSON path ('' to skip writing)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed repeats per phase (best run is kept)")
-    bench.add_argument("--scale", type=float, default=1.0,
-                       help="scale factor on every phase's workload size")
+    bench.add_argument("--scale", default="1.0", metavar="FACTOR|TIER",
+                       help="float factor on every phase's workload size, "
+                            "or a tier letter S/M/L/XL that also runs the "
+                            "million-request fluid_stream@T and "
+                            "shard_grid@T phases (docs/SCALING.md)")
     bench.add_argument("--phase", action="append", dest="phases",
                        metavar="NAME",
                        help="run only this phase (repeatable); "
@@ -412,7 +415,12 @@ def main(argv=None) -> int:
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "bench":
-        from .bench import main as bench_main
+        from .bench import main as bench_main, parse_scale
+        try:
+            parse_scale(args.scale)
+        except ValueError as exc:
+            print(f"sweb-repro bench: {exc}", file=sys.stderr)
+            return 2
         return bench_main(out=args.out or None, repeats=args.repeats,
                           scale=args.scale, profile=args.profile,
                           top=args.top, phases=args.phases)

@@ -55,6 +55,16 @@ from . import (
 from .base import ExperimentReport
 from .validate import ValidationError, ValidationReport, validate_result
 from .runner import Scenario, ScenarioResult, find_max_rps, run_scenario
+from .shard import (
+    CellResult,
+    FluidCell,
+    ScenarioCell,
+    ShardReport,
+    grid_fingerprint,
+    make_fluid_grid,
+    run_cell,
+    run_grid,
+)
 from .tables import ComparisonRow, render_comparison, render_table
 
 #: id -> module with a run(fast=True) -> ExperimentReport entry point
@@ -94,16 +104,24 @@ def run_experiment(exp_id: str, fast: bool = True) -> ExperimentReport:
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "CellResult",
     "ComparisonRow",
     "ExperimentReport",
+    "FluidCell",
     "Scenario",
+    "ScenarioCell",
     "ScenarioResult",
+    "ShardReport",
     "ValidationError",
     "ValidationReport",
     "find_max_rps",
+    "grid_fingerprint",
+    "make_fluid_grid",
     "render_comparison",
     "render_table",
+    "run_cell",
     "run_experiment",
+    "run_grid",
     "run_scenario",
     "validate_result",
 ]

@@ -9,7 +9,8 @@ so every other layer may publish into it.  Three pieces:
   per-stage time breakdown that reconciles with its terminal latency;
 * :mod:`repro.obs.registry` — :class:`MetricsRegistry` with counters,
   gauges and fixed-bucket :class:`Histogram` percentiles (p50/p95/p99
-  without raw-sample storage);
+  without raw-sample storage); registries are per-process but their
+  snapshots combine across processes via :func:`merge_snapshots`;
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and a text
   flame rollup (pure renderers; the CLI owns file I/O);
 * :mod:`repro.obs.percentiles` — the one shared implementation of
@@ -29,6 +30,7 @@ from .registry import (
     LATENCY_BUCKETS,
     MetricsRegistry,
     exponential_buckets,
+    merge_snapshots,
 )
 from .spans import STAGES, RequestTrace, Span, Tracer
 
@@ -46,6 +48,7 @@ __all__ = [
     "chrome_trace",
     "exponential_buckets",
     "flame_rollup",
+    "merge_snapshots",
     "percentile",
     "percentiles",
     "render_chrome_trace",

@@ -10,15 +10,24 @@ interpolation without storing raw samples — O(buckets) memory per metric
 regardless of run length, the standard Prometheus-style trade-off.  The
 exact-percentile path (``repro.obs.percentiles``) remains the source of
 truth where raw samples are already retained (``sim.stats``).
+
+Registries are per-process but their snapshots are *mergeable*:
+:func:`merge_snapshots` folds any number of ``snapshot()`` dicts into
+one — counters and bucket counts add, gauges add (every gauge in the
+repo is a cumulative quantity), histograms are reconstructed from their
+recorded bounds so merged percentiles interpolate over the combined
+counts.  The sharded experiment runner
+(``repro.experiments.shard``, see ``docs/SCALING.md``) relies on this to
+combine per-worker results into one report identical to a serial run.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Optional, Sequence
 
 __all__ = ["CounterGroup", "Gauge", "Histogram", "MetricsRegistry",
-           "exponential_buckets", "LATENCY_BUCKETS"]
+           "exponential_buckets", "merge_snapshots", "LATENCY_BUCKETS"]
 
 
 def exponential_buckets(start: float, factor: float,
@@ -117,6 +126,55 @@ class Histogram:
         if v > self.maximum:
             self.maximum = v
 
+    def absorb(self, counts: Sequence[int], count: int, total: float,
+               minimum: float, maximum: float) -> None:
+        """Add a batch of pre-bucketed observations in one step.
+
+        ``counts`` must align with this histogram's buckets (``len(bounds)
+        + 1`` entries, overflow last).  This is the bulk path used by the
+        fluid workload model (which buckets a whole arrival batch with
+        vectorised numpy before publishing) and by snapshot merging; it
+        is exactly equivalent to ``record()``-ing each observation, up to
+        float-summation order in ``total``.
+        """
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name!r} has {len(self.counts)} buckets, "
+                f"absorb() got {len(counts)}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        for i, n in enumerate(counts):
+            self.counts[i] += n
+        self.count += count
+        self.total += float(total)
+        if minimum < self.minimum:
+            self.minimum = float(minimum)
+        if maximum > self.maximum:
+            self.maximum = float(maximum)
+
+    @classmethod
+    def from_snapshot(cls, name: str, entry: dict) -> "Histogram":
+        """Rebuild a histogram from one ``snapshot()`` entry.
+
+        Requires the ``bounds``/``min``/``max`` fields that
+        :meth:`MetricsRegistry.snapshot` records (snapshots predating
+        them cannot be merged — fail loudly rather than guess bounds
+        from the ``%g``-formatted bucket labels).
+        """
+        if "bounds" not in entry:
+            raise ValueError(f"histogram {name!r} snapshot lacks 'bounds'; "
+                             f"only snapshots from this version merge")
+        hist = cls(name, bounds=entry["bounds"])
+        counts = list(entry["buckets"].values())
+        minimum = entry.get("min")
+        maximum = entry.get("max")
+        hist.absorb(counts, entry["count"], entry["total"],
+                    minimum if minimum is not None else float("inf"),
+                    maximum if maximum is not None else float("-inf"))
+        return hist
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
@@ -157,6 +215,28 @@ class Histogram:
         """``upper-bound -> count`` (``"+inf"`` for the overflow bucket)."""
         labels = [f"{b:g}" for b in self.bounds] + ["+inf"]
         return {label: n for label, n in zip(labels, self.counts)}
+
+    def snapshot_entry(self) -> dict[str, Any]:
+        """This histogram's JSON-ready state, as stored in snapshots.
+
+        Carries everything :meth:`from_snapshot` needs to reconstruct
+        and merge the instrument: exact ``bounds`` plus the observed
+        ``min``/``max`` (None while empty) alongside the derived
+        summary numbers.
+        """
+        has = self.count > 0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean if has else None,
+            "p50": self.p50 if has else None,
+            "p95": self.p95 if has else None,
+            "p99": self.p99 if has else None,
+            "min": self.minimum if has else None,
+            "max": self.maximum if has else None,
+            "bounds": list(self.bounds),
+            "buckets": self.bucket_counts(),
+        }
 
     def __repr__(self) -> str:
         return (f"<Histogram {self.name!r} n={self.count} "
@@ -212,19 +292,59 @@ class MetricsRegistry:
         for name in sorted(self._gauges):
             out["gauges"][name] = self._gauges[name].value
         for name in sorted(self._histograms):
-            hist = self._histograms[name]
-            out["histograms"][name] = {
-                "count": hist.count,
-                "total": hist.total,
-                "mean": hist.mean if hist.count else None,
-                "p50": hist.p50 if hist.count else None,
-                "p95": hist.p95 if hist.count else None,
-                "p99": hist.p99 if hist.count else None,
-                "buckets": hist.bucket_counts(),
-            }
+            out["histograms"][name] = self._histograms[name].snapshot_entry()
         return out
 
     def __repr__(self) -> str:
         return (f"<MetricsRegistry counters={len(self._counters)} "
                 f"gauges={len(self._gauges)} "
                 f"histograms={len(self._histograms)}>")
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict[str, Any]:
+    """Fold registry ``snapshot()`` dicts into one combined snapshot.
+
+    Merge semantics (see ``docs/SCALING.md``):
+
+    * **counters** — integer sums: exact and order-independent;
+    * **gauges** — float sums.  Every gauge the repo publishes is a
+      cumulative quantity (``loadd.bytes_sent``, ``cache.bytes_replicated``),
+      so addition is the meaningful fold; a last-write-wins gauge would
+      need per-shard reporting instead;
+    * **histograms** — bucket counts, totals and min/max combine, and
+      p50/p95/p99 are re-interpolated over the *combined* buckets (never
+      averaged across shards).  Bounds must match across snapshots.
+
+    The fold runs left-to-right over ``snapshots``: all integer fields
+    are order-independent, and float sums are reproducible for any fixed
+    order — callers wanting bit-identical output across worker counts
+    (the shard runner does) sort their snapshots canonically first.
+    """
+    merged: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    counters: dict[str, int] = merged["counters"]
+    gauges: dict[str, float] = merged["gauges"]
+    hists: dict[str, Histogram] = {}
+    for snap in snapshots:
+        for key, val in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + val
+        for key, val in snap.get("gauges", {}).items():
+            gauges[key] = gauges.get(key, 0.0) + val
+        for name, entry in snap.get("histograms", {}).items():
+            hist = hists.get(name)
+            if hist is None:
+                hists[name] = Histogram.from_snapshot(name, entry)
+                continue
+            if list(hist.bounds) != list(entry.get("bounds", [])):
+                raise ValueError(f"histogram {name!r} bounds differ "
+                                 f"across snapshots; cannot merge")
+            minimum = entry.get("min")
+            maximum = entry.get("max")
+            hist.absorb(list(entry["buckets"].values()), entry["count"],
+                        entry["total"],
+                        minimum if minimum is not None else float("inf"),
+                        maximum if maximum is not None else float("-inf"))
+    merged["counters"] = {key: counters[key] for key in sorted(counters)}
+    merged["gauges"] = {key: gauges[key] for key in sorted(gauges)}
+    merged["histograms"] = {name: hists[name].snapshot_entry()
+                            for name in sorted(hists)}
+    return merged

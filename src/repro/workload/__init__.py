@@ -1,4 +1,11 @@
-"""Workload generation: document corpora and request-arrival processes."""
+"""Workload generation: document corpora and request-arrival processes.
+
+Two client-population models live here: the per-client process model
+(``generators`` + ``scenarios``, faithful but bounded at ~10^3–10^4
+requests) and the aggregate *fluid* model (``fluid``), which drives a
+Poisson/Zipf arrival stream through array-backed records so a single
+process reaches 10^6+ requests in seconds.  See ``docs/SCALING.md``.
+"""
 
 from .corpus import (
     CGISpec,
@@ -27,6 +34,13 @@ from .logs import (
     workload_from_clf,
     write_clf,
 )
+from .fluid import (
+    FluidRecords,
+    FluidRequest,
+    FluidResult,
+    FluidScenario,
+    run_fluid,
+)
 from .generators import (
     Arrival,
     Workload,
@@ -49,6 +63,10 @@ __all__ = [
     "Scenario",
     "Corpus",
     "Document",
+    "FluidRecords",
+    "FluidRequest",
+    "FluidResult",
+    "FluidScenario",
     "KB",
     "MB",
     "Workload",
@@ -60,6 +78,7 @@ __all__ = [
     "mixed_corpus",
     "poisson_workload",
     "ramp_workload",
+    "run_fluid",
     "scenario_names",
     "single_hot_file",
     "uniform_corpus",

@@ -90,6 +90,53 @@ def test_extra_phase_in_new_is_noted_not_fatal(tmp_path):
     assert any("shiny_new" in line for line in lines)
 
 
+# -- tier-tagged phases (--scale S/M/L/XL runs) -----------------------------
+
+def test_tier_phase_missing_from_new_is_noted_not_fatal(tmp_path):
+    """A baseline recorded with --scale L carries fluid_stream@L and
+    shard_grid@L; a plain bench rerun skips the tiers, which must not
+    KeyError the gate."""
+    bc = _load()
+    base = _bench_doc({"timeout_chain": 1000.0, "fluid_stream@L": 7e5,
+                       "shard_grid@L": 6e5})
+    new = _bench_doc({"timeout_chain": 1000.0})
+    lines, ok = bc.compare(base, new)
+    assert ok
+    report = "\n".join(lines)
+    assert "skipped" in report
+    assert "fluid_stream@L" in report and "shard_grid@L" in report
+
+
+def test_tier_phase_present_in_both_regresses_with_tier_message(tmp_path):
+    bc = _load()
+    base = _bench_doc({"timeout_chain": 1000.0, "fluid_stream@L": 7e5})
+    new = _bench_doc({"timeout_chain": 1000.0, "fluid_stream@L": 3e5})
+    lines, ok = bc.compare(base, new)
+    assert not ok
+    regression = [ln for ln in lines if "REGRESSION" in ln]
+    assert len(regression) == 1
+    assert "[tier L]" in regression[0]
+    # ...and a fast tier run still passes
+    _, ok_fast = bc.compare(base, _bench_doc({"timeout_chain": 1000.0,
+                                              "fluid_stream@L": 8e5}))
+    assert ok_fast
+
+
+def test_base_phase_missing_still_raises(tmp_path):
+    """The tier tolerance must not weaken the gate for base phases."""
+    bc = _load()
+    base = _bench_doc({"timeout_chain": 1000.0, "fluid_stream@M": 7e5})
+    new = _bench_doc({"fluid_stream@M": 7e5})
+    with pytest.raises(KeyError, match="timeout_chain"):
+        bc.compare(base, new)
+
+
+def test_phase_tier_helper():
+    bc = _load()
+    assert bc.phase_tier("fluid_stream@XL") == "XL"
+    assert bc.phase_tier("timeout_chain") is None
+
+
 # -- CLI --------------------------------------------------------------------
 
 def test_cli_exit_codes(tmp_path, capsys):

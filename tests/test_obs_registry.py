@@ -2,8 +2,9 @@
 
 Covers the three instrument kinds, the create-on-first-use sharing
 semantics, the one-implementation percentile contract (every percentile
-producer in the repo must agree on shared inputs), and the publishing
-paths wired into ``loadd`` and the replication daemon.
+producer in the repo must agree on shared inputs), the snapshot
+merge path the sharded runner folds with (docs/SCALING.md), and the
+publishing paths wired into ``loadd`` and the replication daemon.
 """
 
 import math
@@ -18,6 +19,7 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     exponential_buckets,
+    merge_snapshots,
     percentile,
     percentiles,
 )
@@ -153,6 +155,88 @@ def test_registry_snapshot_structure():
     assert filled["count"] == 1
     assert filled["mean"] == pytest.approx(1.5)
     assert filled["buckets"] == {"1": 0, "2": 1, "+inf": 0}
+
+
+# -- snapshot merge (the sharded runner's fold) ----------------------------
+
+def test_histogram_absorb_and_from_snapshot_round_trip():
+    hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0, 9.0):
+        hist.record(v)
+    rebuilt = Histogram.from_snapshot("h", hist.snapshot_entry())
+    assert rebuilt.snapshot_entry() == hist.snapshot_entry()
+    assert rebuilt.minimum == 0.5 and rebuilt.maximum == 9.0
+
+    # absorbing an empty batch is a no-op; mismatched shapes refuse
+    before = rebuilt.snapshot_entry()
+    rebuilt.absorb([0, 0, 0, 0], 0, 0.0, float("inf"), float("-inf"))
+    assert rebuilt.snapshot_entry() == before
+    with pytest.raises(ValueError, match="bucket"):
+        rebuilt.absorb([1, 2], 3, 1.0, 0.1, 0.9)
+    with pytest.raises(ValueError, match="count"):
+        rebuilt.absorb([0, 0, 0, 0], -1, 0.0, 0.0, 0.0)
+    # pre-``bounds`` snapshots cannot be merged
+    legacy = {k: v for k, v in hist.snapshot_entry().items()
+              if k != "bounds"}
+    with pytest.raises(ValueError, match="bounds"):
+        Histogram.from_snapshot("h", legacy)
+
+
+def _populated_registry(seed: int) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counters("http").incr("requests", by=10 + seed)
+    registry.counters("cache").incr("hits", by=seed)
+    registry.gauge("loadd.bytes_sent").add(100.0 * seed)
+    hist = registry.histogram("rt", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5 * seed, 1.5, 3.0 + seed):
+        hist.record(v)
+    return registry
+
+
+def test_merge_snapshots_equals_one_combined_registry():
+    """Merging per-shard snapshots == recording everything in one
+    registry — the bit-equality contract run_grid relies on."""
+    combined = MetricsRegistry()
+    snaps = []
+    for seed in (1, 2, 3):
+        shard = _populated_registry(seed)
+        snaps.append(shard.snapshot())
+        combined.counters("http").incr("requests", by=10 + seed)
+        combined.counters("cache").incr("hits", by=seed)
+        combined.gauge("loadd.bytes_sent").add(100.0 * seed)
+        hist = combined.histogram("rt", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5 * seed, 1.5, 3.0 + seed):
+            hist.record(v)
+    merged = merge_snapshots(snaps)
+    serial = combined.snapshot()
+    assert merged["counters"] == serial["counters"]
+    assert merged["gauges"] == serial["gauges"]
+    mh, sh = merged["histograms"]["rt"], serial["histograms"]["rt"]
+    assert mh["buckets"] == sh["buckets"]
+    assert mh["count"] == sh["count"]
+    assert mh["min"] == sh["min"] and mh["max"] == sh["max"]
+    assert mh["total"] == pytest.approx(sh["total"])
+    assert mh["p95"] == pytest.approx(sh["p95"])
+
+
+def test_merge_snapshots_edge_cases():
+    assert merge_snapshots([]) == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
+    one = _populated_registry(2).snapshot()
+    merged = merge_snapshots([one])
+    assert merged["counters"] == one["counters"]
+    assert merged["histograms"]["rt"] == one["histograms"]["rt"]
+    # disjoint instrument sets union cleanly
+    other = MetricsRegistry()
+    other.counters("dns").incr("lookups", by=7)
+    both = merge_snapshots([one, other.snapshot()])
+    assert both["counters"]["dns.lookups"] == 7
+    assert both["counters"]["http.requests"] == one["counters"]["http.requests"]
+    # histograms with different bounds refuse to merge
+    a = MetricsRegistry()
+    a.histogram("rt", bounds=(1.0,)).record(0.5)
+    with pytest.raises(ValueError, match="bounds"):
+        merge_snapshots([one, a.snapshot()])
 
 
 def test_reprs_are_informative():
