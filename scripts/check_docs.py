@@ -13,7 +13,15 @@ this script fails the build on each of them:
    code blocks or inline code that name a subcommand or flag the real
    ``sweb-repro --help`` no longer has.  Flags are validated against the
    live ``repro.cli.build_parser()`` by introspection, so the docs can
-   never silently disagree with the parser.
+   never silently disagree with the parser.  Flags that declare argparse
+   ``choices`` (e.g. ``serve --scheduler``, whose values come from the
+   live ``repro.sched`` policy registry) additionally have their
+   documented *values* validated — a doc naming a scheduler that was
+   never registered, or that got renamed, fails the gate.
+
+Beyond ``docs/`` and the top-level ``README.md``, the generated
+``EXPERIMENTS.md`` (when present) is scanned for links and CLI
+invocations too, so its reproduce lines stay runnable.
 
 Usage::
 
@@ -86,46 +94,87 @@ def cli_invocations(text: str) -> list[str]:
     return found
 
 
-def _cli_surface() -> tuple[dict[str, set[str]], set[str]]:
-    """Introspect the real parser: subcommand -> flags, plus global flags."""
+def _flag_choices(parser: argparse.ArgumentParser) -> dict[str, set[str]]:
+    """flag string -> declared argparse ``choices`` values (as strings)."""
+    choices: dict[str, set[str]] = {}
+    for flag, action in parser._option_string_actions.items():
+        if action.choices:
+            choices[flag] = {str(c) for c in action.choices}
+    return choices
+
+
+def _cli_surface() -> tuple[dict[str, set[str]], set[str],
+                            dict[str, dict[str, set[str]]]]:
+    """Introspect the real parser: subcommand -> flags, global flags, and
+    per-subcommand flag -> declared value choices.
+
+    The choices map is keyed by subcommand name (``""`` for global
+    flags); it is how documented ``--scheduler sweb`` values get checked
+    against the live policy registry without a hand-kept list.
+    """
     from repro.cli import build_parser
 
     parser = build_parser()
     subcommands: dict[str, set[str]] = {}
+    choices: dict[str, dict[str, set[str]]] = {"": _flag_choices(parser)}
     for action in parser._actions:
         if isinstance(action, argparse._SubParsersAction):
             for name, sub in action.choices.items():
                 subcommands[name] = set(sub._option_string_actions)
-    return subcommands, set(parser._option_string_actions)
+                choices[name] = _flag_choices(sub)
+    return subcommands, set(parser._option_string_actions), choices
 
 
 def check_invocation(invocation: str,
                      subcommands: dict[str, set[str]],
-                     global_flags: set[str]) -> list[str]:
+                     global_flags: set[str],
+                     choices: dict[str, dict[str, set[str]]] | None = None,
+                     ) -> list[str]:
     """Problems with one documented ``sweb-repro`` argument string."""
     tokens = invocation.split()
     if tokens and tokens[0] == "$":
         tokens = tokens[1:]
     problems = []
     subcommand = None
+    choices = choices or {}
+    pending_choices: set[str] | None = None  # the previous flag's choices
+    pending_flag = ""
     for token in tokens:
         if token in _STOP_TOKENS:
             break
-        flag = token.split("=", 1)[0]
+        flag, sep, inline_value = token.partition("=")
         if flag.startswith("-"):
+            pending_choices = None
             allowed = global_flags | (subcommands.get(subcommand, set())
                                       if subcommand else set())
             if flag not in allowed:
                 where = f"'sweb-repro {subcommand}'" if subcommand \
                     else "'sweb-repro'"
                 problems.append(f"unknown flag {flag!r} for {where}")
+                continue
+            flag_choices = choices.get(subcommand or "", {}).get(flag) \
+                or choices.get("", {}).get(flag)
+            if flag_choices and sep:
+                if inline_value not in flag_choices:
+                    problems.append(
+                        f"bad value {inline_value!r} for {flag}: choose "
+                        f"from {', '.join(sorted(flag_choices))}")
+            elif flag_choices:
+                pending_choices = flag_choices
+                pending_flag = flag
+        elif pending_choices is not None:
+            if token not in pending_choices:
+                problems.append(
+                    f"bad value {token!r} for {pending_flag}: choose "
+                    f"from {', '.join(sorted(pending_choices))}")
+            pending_choices = None
         elif subcommand is None:
             if token not in subcommands:
                 problems.append(f"unknown subcommand {token!r} "
                                 f"(have: {', '.join(sorted(subcommands))})")
                 break
             subcommand = token
-        # later bare tokens are positionals/values — not validated
+        # remaining bare tokens are positionals/values — not validated
     return problems
 
 
@@ -152,11 +201,13 @@ def check_tree(root: Path) -> list[str]:
             problems.append(f"docs/{page.name}: not linked from "
                             f"docs/README.md index")
 
-    # 2. relative links resolve (docs pages + the top-level README)
+    # 2. relative links resolve (docs pages, the top-level README, and
+    #    the generated experiment report when present)
     candidates = list(pages)
-    top_readme = root / "README.md"
-    if top_readme.is_file():
-        candidates.append(top_readme)
+    for extra in ("README.md", "EXPERIMENTS.md"):
+        extra_page = root / extra
+        if extra_page.is_file():
+            candidates.append(extra_page)
     for page in candidates:
         rel = page.relative_to(root)
         for target in markdown_links(page.read_text()):
@@ -170,12 +221,12 @@ def check_tree(root: Path) -> list[str]:
                 problems.append(f"{rel}: dead link -> {target}")
 
     # 3. documented CLI invocations match the real parser
-    subcommands, global_flags = _cli_surface()
+    subcommands, global_flags, choices = _cli_surface()
     for page in candidates:
         rel = page.relative_to(root)
         for invocation in cli_invocations(page.read_text()):
             for problem in check_invocation(invocation, subcommands,
-                                            global_flags):
+                                            global_flags, choices):
                 problems.append(
                     f"{rel}: in `sweb-repro {invocation}`: {problem}")
     return problems

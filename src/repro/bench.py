@@ -25,7 +25,10 @@ Tier phases (``--scale {S,M,L,XL}``, see :data:`TIERS` and
 * ``fluid_stream@T``  — the aggregate client-population model
   (:func:`repro.workload.run_fluid`), rated in sim-req/s;
 * ``shard_grid@T``    — a seeds-grid through the sharded runner
-  (:func:`repro.experiments.run_grid`) including the snapshot merge.
+  (:func:`repro.experiments.run_grid`) including the snapshot merge;
+* ``sched_tournament@T`` — the X11 policy × cluster × popularity grid
+  (every fluid decision kernel, homogeneous and heterogeneous), the
+  stress test for the per-policy stepper dispatch.
 
 ``run_bench(profile=True)`` additionally runs each phase under
 :mod:`cProfile` and reports the hottest functions plus a per-subsystem
@@ -62,13 +65,13 @@ SCHEMA = "sweb-bench/1"
 #: directly (grid = stream + shard/merge overhead).
 TIERS: dict[str, dict[str, int]] = {
     "S": {"fluid_requests": 100_000, "grid_cells": 4,
-          "grid_requests": 25_000},
+          "grid_requests": 25_000, "tournament_requests": 10_000},
     "M": {"fluid_requests": 400_000, "grid_cells": 4,
-          "grid_requests": 100_000},
+          "grid_requests": 100_000, "tournament_requests": 40_000},
     "L": {"fluid_requests": 1_000_000, "grid_cells": 4,
-          "grid_requests": 250_000},
+          "grid_requests": 250_000, "tournament_requests": 100_000},
     "XL": {"fluid_requests": 4_000_000, "grid_cells": 8,
-           "grid_requests": 500_000},
+           "grid_requests": 500_000, "tournament_requests": 250_000},
 }
 
 #: offered rate for the tier phases: ~70 % utilisation of the default
@@ -253,6 +256,27 @@ PHASES: dict[str, Callable[[float], tuple[int, str, dict[str, Any]]]] = {
     "coop_broker": _phase_coop_broker,
 }
 
+def _make_sched_tournament(tier: str) -> Callable[[float],
+                                                  tuple[int, str,
+                                                        dict[str, Any]]]:
+    def body(scale: float) -> tuple[int, str, dict[str, Any]]:
+        from .experiments import run_grid
+        from .experiments.tournament import make_cells
+        from .sched import fluid_policy_names
+
+        n = max(1, int(TIERS[tier]["tournament_requests"] * scale))
+        cells = make_cells(n)
+        report = run_grid(cells)
+        return report.n_requests, "sim-req", {
+            "tier": tier,
+            "cells": len(cells),
+            "policies": len(fluid_policy_names()),
+            "workers": report.workers,
+            "grid_fingerprint": report.grid_fingerprint[:16],
+        }
+    return body
+
+
 #: Tier-tagged phases, run only under ``--scale {S,M,L,XL}``.  The ``@``
 #: suffix marks them optional to ``scripts/bench_compare.py``: a tier
 #: phase present in the baseline but absent from the new file is noted,
@@ -261,6 +285,7 @@ TIER_PHASES: dict[str, Callable[[float], tuple[int, str, dict[str, Any]]]] = {}
 for _tier in TIERS:
     TIER_PHASES[f"fluid_stream@{_tier}"] = _make_fluid_stream(_tier)
     TIER_PHASES[f"shard_grid@{_tier}"] = _make_shard_grid(_tier)
+    TIER_PHASES[f"sched_tournament@{_tier}"] = _make_sched_tournament(_tier)
 
 
 def parse_scale(value: Any) -> tuple[float, Optional[str]]:
@@ -373,9 +398,9 @@ def run_bench(repeats: int = 3, scale: float = 1.0, profile: bool = False,
               stream=None, tier: Optional[str] = None) -> dict[str, Any]:
     """Run the benchmark suite; return the BENCH document as a dict.
 
-    ``tier`` (one of :data:`TIERS`) appends that tier's ``fluid_stream@T``
-    and ``shard_grid@T`` phases to the run and stamps the tier into the
-    document.
+    ``tier`` (one of :data:`TIERS`) appends that tier's ``fluid_stream@T``,
+    ``shard_grid@T`` and ``sched_tournament@T`` phases to the run and
+    stamps the tier into the document.
     """
     stream = stream if stream is not None else sys.stdout
     if tier is not None and tier not in TIERS:
@@ -385,7 +410,8 @@ def run_bench(repeats: int = 3, scale: float = 1.0, profile: bool = False,
     else:
         names = list(PHASES)
         if tier is not None:
-            names += [f"fluid_stream@{tier}", f"shard_grid@{tier}"]
+            names += [f"fluid_stream@{tier}", f"shard_grid@{tier}",
+                      f"sched_tournament@{tier}"]
     known = set(PHASES) | set(TIER_PHASES)
     unknown = [p for p in names if p not in known]
     if unknown:

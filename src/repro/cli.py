@@ -42,6 +42,8 @@ def _positive_int(text: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .sched import policy_names
+
     parser = argparse.ArgumentParser(
         prog="sweb-repro",
         description="SWEB (IPPS'96) reproduction harness")
@@ -58,9 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
     allp.add_argument("--full", action="store_true")
 
     serve = sub.add_parser("serve", help="run an ad-hoc scenario")
-    serve.add_argument("--testbed", choices=["meiko", "now"], default="meiko")
+    serve.add_argument("--testbed",
+                       choices=["meiko", "now", "hetmeiko", "hetnow"],
+                       default="meiko",
+                       help="cluster preset; hetmeiko/hetnow are the "
+                            "heterogeneous variants (docs/SCHEDULING.md)")
     serve.add_argument("--nodes", type=int, default=6)
-    serve.add_argument("--policy", default="sweb")
+    serve.add_argument("--scheduler", "--policy", dest="policy",
+                       choices=list(policy_names()), default="sweb",
+                       help="scheduling policy — the zoo is documented in "
+                            "docs/SCHEDULING.md (--policy is an alias)")
     serve.add_argument("--rps", type=int, default=16)
     serve.add_argument("--duration", type=float, default=30.0)
     serve.add_argument("--file-size", type=float, default=1.5e6)
@@ -204,7 +213,8 @@ def _cmd_all(full: bool) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .cluster import meiko_cs2, sun_now
+    from .cluster import (heterogeneous_meiko, heterogeneous_now, meiko_cs2,
+                          sun_now)
     from .core.costmodel import CostParameters
     from .experiments.runner import Scenario, run_scenario
     from .faults import FaultPlan, FaultSpecError
@@ -228,7 +238,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except FaultSpecError as exc:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
-    spec = (meiko_cs2 if args.testbed == "meiko" else sun_now)(args.nodes)
+    _now_speeds = (40e6, 25e6, 25e6, 10e6)
+    builders = {"meiko": meiko_cs2, "now": sun_now,
+                "hetmeiko": heterogeneous_meiko,
+                "hetnow": lambda n: heterogeneous_now(
+                    [_now_speeds[i % len(_now_speeds)] for i in range(n)])}
+    spec = builders[args.testbed](args.nodes)
     corpus = uniform_corpus(args.files, args.file_size, args.nodes)
     rng = RandomStreams(seed=42)
     if args.zipf is not None:

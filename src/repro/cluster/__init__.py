@@ -23,6 +23,7 @@ from .topology import (
     ClusterSpec,
     NodeSpec,
     custom_cluster,
+    heterogeneous_meiko,
     heterogeneous_now,
     meiko_cs2,
     sun_now,
@@ -45,6 +46,7 @@ __all__ = [
     "SharedBusNetwork",
     "WANPath",
     "custom_cluster",
+    "heterogeneous_meiko",
     "heterogeneous_now",
     "meiko_cs2",
     "sun_now",

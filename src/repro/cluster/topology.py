@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..sched import SpeedFactors
 from ..sim import Simulator
 from .disk import Disk
 from .filesystem import DistributedFileSystem
@@ -31,7 +32,7 @@ from .network import (
 from .node import Node
 
 __all__ = ["NodeSpec", "ClusterSpec", "BuiltCluster", "meiko_cs2", "sun_now",
-           "custom_cluster", "heterogeneous_now"]
+           "custom_cluster", "heterogeneous_now", "heterogeneous_meiko"]
 
 MB = 1e6
 
@@ -71,6 +72,27 @@ class ClusterSpec:
             raise ValueError(f"need at least 1 node, got {n}")
         base = self.nodes[0]
         return replace(self, nodes=tuple(base for _ in range(n)))
+
+    def with_speed_factors(self, factors: SpeedFactors) -> "ClusterSpec":
+        """Scale per-node hardware by dimensionless speed factors.
+
+        ``factors.cpu`` multiplies CPU ops/s, ``factors.disk`` multiplies
+        disk bandwidth, and ``factors.mem`` multiplies the page-cache copy
+        bandwidth — the same heterogeneity model the fluid scenario's
+        ``cpu_factors``/``disk_factors``/``mem_factors`` apply to analytic
+        service times (docs/SCHEDULING.md).
+        """
+        if factors.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"{self.name!r} has {self.num_nodes} nodes but factors "
+                f"describe {factors.num_nodes}")
+        nodes = tuple(
+            replace(ns, cpu_speed=ns.cpu_speed * fc,
+                    disk_bandwidth=ns.disk_bandwidth * fd,
+                    mem_bandwidth=ns.mem_bandwidth * fm)
+            for ns, fc, fd, fm in zip(self.nodes, factors.cpu, factors.disk,
+                                      factors.mem))
+        return replace(self, nodes=nodes)
 
     def build(self, sim: Simulator) -> "BuiltCluster":
         """Instantiate the testbed inside ``sim``."""
@@ -182,3 +204,17 @@ def heterogeneous_now(speeds: Optional[list[float]] = None) -> ClusterSpec:
     nodes = tuple(replace(ns, cpu_speed=sp)
                   for ns, sp in zip(base.nodes, speeds))
     return replace(base, name="hetnow", nodes=nodes)
+
+
+def heterogeneous_meiko(n: int = 6,
+                        factors: Optional[SpeedFactors] = None) -> ClusterSpec:
+    """The tournament's heterogeneous testbed: a mixed-generation Meiko.
+
+    The homogeneous :func:`meiko_cs2` hardware scaled by
+    :data:`repro.sched.MIXED_GENERATION` speed factors (aggregate CPU
+    equals the homogeneous cluster's, so the comparison is capacity-fair).
+    """
+    from ..sched import MIXED_GENERATION
+    factors = factors or MIXED_GENERATION.take(n)
+    spec = meiko_cs2(n).with_speed_factors(factors)
+    return replace(spec, name="hetmeiko")

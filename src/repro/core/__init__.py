@@ -26,9 +26,13 @@ from .loadd import LoadDaemon
 from .loadinfo import ClusterView, LoadSnapshot
 from .oracle import Oracle, OracleRule, TaskEstimate
 from .policies import (
+    ConsistentHashPolicy,
     CPUOnlyPolicy,
     FileLocalityPolicy,
+    JoinShortestQueuePolicy,
+    LeastWorkLeftPolicy,
     POLICY_NAMES,
+    PowerOfTwoPolicy,
     RandomPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
@@ -45,15 +49,19 @@ __all__ = [
     "ClassStats",
     "CPUOnlyPolicy",
     "ClusterView",
+    "ConsistentHashPolicy",
     "CostEstimate",
     "CostModel",
     "CostParameters",
     "FileLocalityPolicy",
+    "JoinShortestQueuePolicy",
+    "LeastWorkLeftPolicy",
     "LoadDaemon",
     "LoadSnapshot",
     "Oracle",
     "OracleRule",
     "POLICY_NAMES",
+    "PowerOfTwoPolicy",
     "RandomPolicy",
     "RoundRobinPolicy",
     "SWEBCluster",

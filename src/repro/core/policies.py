@@ -11,15 +11,24 @@
 
 Plus two extra baselines used by our ablations: **cpu-only**, the
 single-faceted strategy of the load-balancing literature the paper argues
-against ([SHK95]), and **random**.
+against ([SHK95]), and **random** — and the modern cluster-scheduling zoo
+run by the heterogeneous tournament (docs/SCHEDULING.md): **jsq** (join
+the shortest queue), **po2** (power of two choices), **lwl** (least work
+left, in speed-normalised seconds), and **chash** (locality-aware
+rendezvous hashing with a bounded-load spill).
+
+The canonical list of names lives in :mod:`repro.sched.registry`; this
+module implements the ``per_client=True`` subset as strategy objects.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..sched import per_client_policy_names, preference_order
 from ..sim import RandomStreams
 from .broker import Broker, BrokerDecision
+from .loadinfo import LoadSnapshot
 from .oracle import TaskEstimate
 
 __all__ = [
@@ -29,9 +38,20 @@ __all__ = [
     "SWEBPolicy",
     "CPUOnlyPolicy",
     "RandomPolicy",
+    "JoinShortestQueuePolicy",
+    "PowerOfTwoPolicy",
+    "LeastWorkLeftPolicy",
+    "ConsistentHashPolicy",
     "make_policy",
     "POLICY_NAMES",
 ]
+
+
+def _job_count(snap: LoadSnapshot) -> float:
+    """Believed jobs in service on a node: the sum over the three
+    channels a request can occupy (CPU run queue, disk reads in flight,
+    fabric-port transfers)."""
+    return snap.cpu_load + snap.disk_load + snap.net_load
 
 
 class SchedulingPolicy:
@@ -135,7 +155,152 @@ class RandomPolicy(SchedulingPolicy):
         return self._trivial(broker, path, candidates[idx].node)
 
 
-POLICY_NAMES = ("round-robin", "file-locality", "sweb", "cpu-only", "random")
+class JoinShortestQueuePolicy(SchedulingPolicy):
+    """Join the shortest queue: argmin of believed jobs in service.
+
+    The classic supermarket model.  Count-based, so it treats a
+    half-speed node and a double-speed node as interchangeable — the
+    blind spot :class:`LeastWorkLeftPolicy` fixes on heterogeneous
+    clusters (docs/SCHEDULING.md).
+    """
+
+    name = "jsq"
+    consults_broker = True
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        now = broker.sim.now
+        candidates = broker.view.available(now)
+        if not candidates:
+            return self._trivial(broker, path, broker.node_id)
+        best = min(candidates,
+                   key=lambda s: (_job_count(s),
+                                  s.node != broker.node_id, s.node))
+        decision = self._trivial(broker, path, best.node)
+        if decision.redirected:
+            broker.view.inflate_cpu(best.node, broker.cost_model.params.delta)
+        return decision
+
+
+class PowerOfTwoPolicy(SchedulingPolicy):
+    """Power of two choices: sample two nodes, join the shorter queue.
+
+    Two uniform samples plus one comparison buys an exponential
+    improvement over purely random placement (Mitzenmacher's
+    supermarket result) while reading only two nodes' state.
+    """
+
+    name = "po2"
+    consults_broker = True
+
+    def __init__(self, rng: Optional[RandomStreams] = None) -> None:
+        self.rng = rng or RandomStreams(seed=0)
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        now = broker.sim.now
+        candidates = broker.view.available(now)
+        if not candidates:
+            return self._trivial(broker, path, broker.node_id)
+        if len(candidates) == 1:
+            return self._trivial(broker, path, candidates[0].node)
+        i = self.rng.integers("po2-policy", 0, len(candidates))
+        j = self.rng.integers("po2-policy", 0, len(candidates) - 1)
+        if j >= i:                       # second sample over the rest
+            j += 1
+        best = min(candidates[i], candidates[j],
+                   key=lambda s: (_job_count(s),
+                                  s.node != broker.node_id, s.node))
+        decision = self._trivial(broker, path, best.node)
+        if decision.redirected:
+            broker.view.inflate_cpu(best.node, broker.cost_model.params.delta)
+        return decision
+
+
+class LeastWorkLeftPolicy(SchedulingPolicy):
+    """Least work left: argmin of outstanding *work* in seconds.
+
+    Prices each node's believed backlog at that node's own speed —
+    queued CPU jobs at ``cpu_speed``, queued reads at
+    ``disk_bandwidth`` — using the oracle's characterisation of the
+    current request as the typical queued job.  Dividing by speed is
+    the whole point: a 2x node with four queued jobs drains them as
+    fast as a 1x node drains two, so fast nodes absorb proportionally
+    more load on heterogeneous clusters.
+    """
+
+    name = "lwl"
+    consults_broker = True
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        now = broker.sim.now
+        candidates = broker.view.available(now)
+        if not candidates:
+            return self._trivial(broker, path, broker.node_id)
+        file_size = (broker.fs.locate(path).size
+                     if broker.fs.exists(path) else 0.0)
+        task = broker.oracle.characterize(path, file_size)
+        cpu_ops = max(task.cpu_ops, 1.0)
+        disk_bytes = max(task.disk_bytes, 0.0)
+
+        def backlog_seconds(s: LoadSnapshot) -> float:
+            return (s.cpu_load * cpu_ops / s.cpu_speed
+                    + s.disk_load * disk_bytes / s.disk_bandwidth)
+
+        best = min(candidates,
+                   key=lambda s: (backlog_seconds(s),
+                                  s.node != broker.node_id, s.node))
+        decision = BrokerDecision(chosen=best.node, local=broker.node_id,
+                                  estimates=(), task=task)
+        if decision.redirected:
+            broker.view.inflate_cpu(best.node, broker.cost_model.params.delta)
+        return decision
+
+
+class ConsistentHashPolicy(SchedulingPolicy):
+    """Locality-aware consistent hashing with a bounded-load spill.
+
+    Rendezvous-hashes the path to an owner node so each node's page
+    cache accumulates a stable shard of the corpus; when the owner's
+    believed queue exceeds the bounded-load threshold (2x the cluster
+    mean), the request spills down the deterministic preference order
+    to the first underloaded node (cf. consistent hashing with bounded
+    loads, arXiv:1608.01350).
+    """
+
+    name = "chash"
+    consults_broker = True
+
+    def decide(self, broker: Broker, path: str,
+               client_latency: float) -> BrokerDecision:
+        now = broker.sim.now
+        candidates = broker.view.available(now)
+        if not candidates:
+            return self._trivial(broker, path, broker.node_id)
+        counts = {s.node: _job_count(s) for s in candidates}
+        bound = 2.0 * (sum(counts.values()) / len(counts)) + 1.0
+        order = preference_order(path, len(broker.fs.nodes))
+        chosen = None
+        for node in order:
+            if node not in counts:
+                continue
+            if chosen is None:           # owner = first available in order
+                chosen = node
+            if counts[node] <= bound:
+                chosen = node
+                break
+        if chosen is None:
+            chosen = candidates[0].node
+        decision = self._trivial(broker, path, chosen)
+        if decision.redirected:
+            broker.view.inflate_cpu(chosen, broker.cost_model.params.delta)
+        return decision
+
+
+#: Per-client policy names, in canonical order — derived from the
+#: registry (:mod:`repro.sched.registry`), never hand-listed.
+POLICY_NAMES = per_client_policy_names()
 
 
 def make_policy(name: str, rng: Optional[RandomStreams] = None) -> SchedulingPolicy:
@@ -145,9 +310,14 @@ def make_policy(name: str, rng: Optional[RandomStreams] = None) -> SchedulingPol
         "file-locality": FileLocalityPolicy,
         "sweb": SWEBPolicy,
         "cpu-only": CPUOnlyPolicy,
+        "jsq": JoinShortestQueuePolicy,
+        "lwl": LeastWorkLeftPolicy,
+        "chash": ConsistentHashPolicy,
     }
     if name == "random":
         return RandomPolicy(rng=rng)
+    if name == "po2":
+        return PowerOfTwoPolicy(rng=rng)
     if name not in table:
         raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
     return table[name]()

@@ -26,6 +26,7 @@ X7    extension — centralized dispatcher             centralized
 X8    extension — burst/queue dynamics               dynamics
 X9    extension — faults & graceful degradation      faults
 X10   extension — cooperative cache & replication    cache_coop
+X11   extension — scheduler tournament (het zoo)     tournament
 ====  =============================================  =================
 """
 
@@ -51,6 +52,7 @@ from . import (
     table3,
     table4,
     table5,
+    tournament,
 )
 from .base import ExperimentReport
 from .validate import ValidationError, ValidationReport, validate_result
@@ -90,6 +92,7 @@ ALL_EXPERIMENTS = {
     "X8": dynamics,
     "X9": faults,
     "X10": cache_coop,
+    "X11": tournament,
 }
 
 

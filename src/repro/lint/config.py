@@ -13,40 +13,45 @@ from fnmatch import fnmatch
 
 __all__ = ["DEFAULT_CONFIG", "LAYERS", "LAYER_ALLOWED", "LintConfig"]
 
-#: The nine library layers, bottom-up.  Top-level side modules
+#: The ten library layers, bottom-up.  Top-level side modules
 #: (``cli``, ``config``, ``bench``) and :mod:`repro.lint` itself sit
 #: beside the stack and are exempt from the layering rules.
 LAYERS: tuple[str, ...] = (
-    "obs", "sim", "cluster", "cache", "faults", "web", "core", "workload",
-    "experiments",
+    "obs", "sim", "sched", "cluster", "cache", "faults", "web", "core",
+    "workload", "experiments",
 )
 
 #: layer -> the set of *other* layers it may import at runtime.
-#: This is the enforced DAG:  obs → sim → cluster → cache →
+#: This is the enforced DAG:  obs → sim → sched → cluster → cache →
 #: {faults, web} → core → workload → experiments.  ``obs`` sits at the
 #: very bottom (pure data structures, no engine dependency) so *every*
 #: layer — including ``sim``, whose stats route percentile math through
-#: it — may publish spans and metrics into it.  ``TYPE_CHECKING``-gated
-#: imports are exempt (typing-only; they cannot affect runtime behaviour
-#: or determinism).
+#: it — may publish spans and metrics into it.  ``sched`` (the policy
+#: registry, speed-factor model and rendezvous hashing) sits just above
+#: the kernel so the hardware layer, the per-client strategies and the
+#: fluid model all share one scheduling vocabulary.  ``TYPE_CHECKING``-
+#: gated imports are exempt (typing-only; they cannot affect runtime
+#: behaviour or determinism).
 LAYER_ALLOWED: dict[str, frozenset[str]] = {
     "obs": frozenset(),
     "sim": frozenset({"obs"}),
-    "cluster": frozenset({"obs", "sim"}),
-    "cache": frozenset({"obs", "sim", "cluster"}),
-    "faults": frozenset({"obs", "sim", "cluster", "cache"}),
-    "web": frozenset({"obs", "sim", "cluster", "cache"}),
-    "core": frozenset({"obs", "sim", "cluster", "cache", "faults", "web"}),
-    "workload": frozenset({"obs", "sim", "cluster", "cache", "faults", "web",
-                           "core"}),
-    "experiments": frozenset({"obs", "sim", "cluster", "cache", "faults",
-                              "web", "core", "workload"}),
+    "sched": frozenset({"obs", "sim"}),
+    "cluster": frozenset({"obs", "sim", "sched"}),
+    "cache": frozenset({"obs", "sim", "sched", "cluster"}),
+    "faults": frozenset({"obs", "sim", "sched", "cluster", "cache"}),
+    "web": frozenset({"obs", "sim", "sched", "cluster", "cache"}),
+    "core": frozenset({"obs", "sim", "sched", "cluster", "cache", "faults",
+                       "web"}),
+    "workload": frozenset({"obs", "sim", "sched", "cluster", "cache",
+                           "faults", "web", "core"}),
+    "experiments": frozenset({"obs", "sim", "sched", "cluster", "cache",
+                              "faults", "web", "core", "workload"}),
 }
 
 #: Layers whose code is sim-reachable: time must come from the engine
 #: clock (``sim.now``) and randomness from ``repro.sim.rng``.
 DETERMINISM_LAYERS: tuple[str, ...] = (
-    "obs", "sim", "cluster", "cache", "core", "web", "faults",
+    "obs", "sim", "sched", "cluster", "cache", "core", "web", "faults",
 )
 
 #: Files allowed to talk to a terminal or the filesystem: the CLI, the

@@ -1,6 +1,6 @@
 """Layering rules: the import DAG of ``docs/ARCHITECTURE.md``, enforced.
 
-``sim → cluster → cache → {faults, web} → core → workload →
+``sim → sched → cluster → cache → {faults, web} → core → workload →
 experiments``: each
 layer imports only layers strictly below it, and the experiments layer
 touches subsystems only through their public ``__init__`` exports, so a
@@ -32,8 +32,8 @@ class LayerImportRule(Rule):
     """Runtime imports must follow the layer DAG."""
 
     name = "layer-import"
-    summary = ("layers import only the layers below them (sim -> cluster "
-               "-> cache -> {faults, web} -> core -> workload -> "
+    summary = ("layers import only the layers below them (sim -> sched -> "
+               "cluster -> cache -> {faults, web} -> core -> workload -> "
                "experiments)")
 
     def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:

@@ -1,0 +1,66 @@
+"""Deterministic rendezvous (highest-random-weight) hashing.
+
+The locality-aware ``chash`` policy needs a *stable* path → node map:
+the same path must land on the same node in every process, on every
+Python version, and independently of request order — that is what makes
+the mapping "consistent" (each node's cache accumulates a fixed shard
+of the corpus) and what keeps tournament fingerprints reproducible.
+
+Rendezvous hashing gives each (key, node) pair a deterministic weight
+and ranks the nodes by it: the top-ranked node owns the key, and the
+ranking *is* the spill order when the owner is over the bounded-load
+threshold.  Removing a node only reassigns the keys it owned — the
+classic consistent-hashing property — without maintaining a ring
+structure.  Python's salted ``hash()`` is banned here (it varies per
+process); weights come from a splitmix64 mix of crc32-hashed keys.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["stable_hash64", "preference_order", "rank_preferences"]
+
+_MASK = (1 << 64) - 1
+
+
+def stable_hash64(key: "str | int") -> int:
+    """A 64-bit process-stable hash of a string or integer key.
+
+    splitmix64's finalizer over the raw integer (or the crc32 of the
+    UTF-8 bytes for strings): cheap, well-mixed, and identical across
+    interpreters — unlike built-in ``hash()``.
+    """
+    if isinstance(key, str):
+        z = zlib.crc32(key.encode("utf-8"))
+    else:
+        z = int(key) & _MASK
+    z = (z + 0x9E3779B97F4A7C15) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return z ^ (z >> 31)
+
+
+def preference_order(key: "str | int", n_nodes: int) -> tuple[int, ...]:
+    """Every node id ranked by rendezvous weight for ``key``, best first.
+
+    ``order[0]`` is the key's owner; ``order[1:]`` is the deterministic
+    spill sequence for bounded-load fallback.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    h = stable_hash64(key)
+    return tuple(sorted(range(n_nodes),
+                        key=lambda node: (-stable_hash64(h ^ (node + 1)),
+                                          node)))
+
+
+def rank_preferences(n_keys: int, n_nodes: int) -> list[tuple[int, ...]]:
+    """Precomputed :func:`preference_order` for integer keys 0..n_keys-1.
+
+    The fluid model indexes this by path rank so the per-request hot
+    path does no hashing at all.
+    """
+    if n_keys < 1:
+        raise ValueError(f"n_keys must be >= 1, got {n_keys}")
+    return [preference_order(rank, n_nodes) for rank in range(n_keys)]

@@ -1,0 +1,76 @@
+"""Per-node speed factors: the heterogeneity model.
+
+The paper's testbeds are homogeneous; the heterogeneous-web-server
+framework (arXiv:1103.1207) and dynamic cluster task scheduling
+(arXiv:1902.08040) study the modern case where nodes differ in CPU,
+disk and RAM speed.  A :class:`SpeedFactors` describes one such cluster
+as *dimensionless multipliers* on a homogeneous baseline — factor 2.0
+on a 40 Mops CPU means an 80 Mops CPU — so the same description scales
+both the per-client hardware model (``ClusterSpec.with_speed_factors``)
+and the fluid model's analytic service times
+(``FluidScenario.{cpu,disk,mem}_factors``).  See docs/SCHEDULING.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeedFactors", "MIXED_GENERATION"]
+
+
+@dataclass(frozen=True)
+class SpeedFactors:
+    """Dimensionless per-node multipliers on a homogeneous baseline."""
+
+    #: CPU speed multipliers, one per node
+    cpu: tuple[float, ...]
+    #: disk-bandwidth multipliers, one per node
+    disk: tuple[float, ...]
+    #: RAM-copy (page-cache) bandwidth multipliers, one per node
+    mem: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.cpu)
+        if n < 1:
+            raise ValueError("SpeedFactors needs at least one node")
+        if len(self.disk) != n or len(self.mem) != n:
+            raise ValueError(
+                f"factor lengths disagree: cpu={n}, disk={len(self.disk)}, "
+                f"mem={len(self.mem)}")
+        for kind, factors in (("cpu", self.cpu), ("disk", self.disk),
+                              ("mem", self.mem)):
+            if any(f <= 0 for f in factors):
+                raise ValueError(f"{kind} factors must be > 0, got {factors}")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.cpu)
+
+    @property
+    def homogeneous(self) -> bool:
+        """True when every factor is exactly 1.0 (the baseline cluster)."""
+        return all(f == 1.0 for f in self.cpu + self.disk + self.mem)
+
+    @classmethod
+    def uniform(cls, n: int, factor: float = 1.0) -> "SpeedFactors":
+        """``n`` identical nodes (factor 1.0 = the homogeneous baseline)."""
+        return cls(cpu=(factor,) * n, disk=(factor,) * n, mem=(factor,) * n)
+
+    def take(self, n: int) -> "SpeedFactors":
+        """The first ``n`` nodes' factors (for smaller clusters)."""
+        if not 1 <= n <= self.num_nodes:
+            raise ValueError(f"need 1..{self.num_nodes} nodes, got {n}")
+        return SpeedFactors(cpu=self.cpu[:n], disk=self.disk[:n],
+                            mem=self.mem[:n])
+
+
+#: The tournament's reference heterogeneous cluster (docs/SCHEDULING.md):
+#: a six-node mixed-generation rack — two current nodes (one with a fast
+#: array), two mid nodes (one disk-poor), and two old half-speed nodes.
+#: Aggregate CPU equals the homogeneous baseline (sum of factors = 6.0)
+#: so homogeneous-vs-heterogeneous grids compare at equal total capacity.
+MIXED_GENERATION = SpeedFactors(
+    cpu=(2.0, 1.5, 1.0, 0.75, 0.5, 0.25),
+    disk=(1.0, 2.0, 1.0, 0.5, 1.0, 0.5),
+    mem=(1.5, 1.0, 1.0, 1.0, 0.5, 0.5),
+)

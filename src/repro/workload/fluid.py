@@ -35,12 +35,14 @@ from __future__ import annotations
 
 import hashlib
 from array import array
+from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
 from ..obs import LATENCY_BUCKETS, MetricsRegistry
+from ..sched import SpeedFactors, fluid_policy_names, rank_preferences
 from ..sim import RandomStreams, Simulator
 
 __all__ = ["FluidRecords", "FluidRequest", "FluidResult", "FluidScenario",
@@ -86,10 +88,38 @@ class FluidScenario:
     #: rounding at the ULP level, so two runs are bit-identical only at
     #: the same batch (docs/SCALING.md)
     batch: int = 65_536
+    #: which decision kernel routes requests — any name in
+    #: ``repro.sched.fluid_policy_names()`` (docs/SCHEDULING.md)
+    policy: str = "sweb"
+    #: optional per-node speed multipliers on the homogeneous baseline
+    #: (the :class:`repro.sched.SpeedFactors` model applied to analytic
+    #: service times); ``None`` = homogeneous.  Lengths must equal
+    #: ``nodes``.  ``cpu_factors`` scales the fixed CPU cost,
+    #: ``disk_factors`` the tail (disk) bandwidth, ``mem_factors`` the
+    #: hot-set (RAM) bandwidth.
+    cpu_factors: Optional[tuple[float, ...]] = None
+    disk_factors: Optional[tuple[float, ...]] = None
+    mem_factors: Optional[tuple[float, ...]] = None
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when any per-node speed factors are supplied."""
+        return (self.cpu_factors is not None
+                or self.disk_factors is not None
+                or self.mem_factors is not None)
 
     def with_seed(self, seed: int) -> "FluidScenario":
         """The same cell at a different seed (grid helper)."""
         return replace(self, seed=seed)
+
+    def with_policy(self, policy: str) -> "FluidScenario":
+        """The same cell under a different decision kernel."""
+        return replace(self, policy=policy)
+
+    def with_speed_factors(self, factors: SpeedFactors) -> "FluidScenario":
+        """The same cell on a heterogeneous cluster (tournament helper)."""
+        return replace(self, cpu_factors=factors.cpu,
+                       disk_factors=factors.disk, mem_factors=factors.mem)
 
     def validate(self) -> None:
         """Raise ``ValueError`` on a malformed cell."""
@@ -107,6 +137,19 @@ class FluidScenario:
                              f"got {self.hot_set}")
         if self.batch < 1:
             raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.policy not in fluid_policy_names():
+            raise ValueError(f"unknown fluid policy {self.policy!r}; "
+                             f"choose from {fluid_policy_names()}")
+        for kind, factors in (("cpu_factors", self.cpu_factors),
+                              ("disk_factors", self.disk_factors),
+                              ("mem_factors", self.mem_factors)):
+            if factors is None:
+                continue
+            if len(factors) != self.nodes:
+                raise ValueError(f"{kind} must have one entry per node "
+                                 f"({self.nodes}), got {len(factors)}")
+            if any(f <= 0 for f in factors):
+                raise ValueError(f"{kind} must be > 0, got {factors}")
 
 
 class FluidRequest:
@@ -207,86 +250,73 @@ def _service_times(scenario: FluidScenario,
     ``hot_set`` most popular ranks are priced at memory bandwidth, the
     tail at disk bandwidth.
     """
+    service, _ = _service_tables(scenario, rng)
+    return service
+
+
+def _service_tables(
+        scenario: FluidScenario, rng: RandomStreams,
+) -> "tuple[list[float], Optional[list[list[float]]]]":
+    """Baseline per-path service times, plus per-node tables when
+    heterogeneous.
+
+    The baseline list is computed with *exactly* the homogeneous
+    arithmetic (one ``fluid-sizes`` draw, one vectorised expression) so
+    homogeneous runs keep their historical fingerprints.  On a
+    heterogeneous scenario the second element holds one list per node:
+    ``by_node[j][rank]`` prices the CPU cost at ``cpu_factors[j]`` and
+    the transfer at the node's own RAM/disk bandwidth factor.
+    """
     gen = rng.stream("fluid-sizes")
     sizes = gen.exponential(scenario.mean_file_bytes,
                             size=scenario.n_paths)
     rates = np.full(scenario.n_paths, scenario.disk_bps)
     rates[:scenario.hot_set] = scenario.mem_bps
-    return (scenario.t_cpu + sizes / rates).tolist()
+    service = (scenario.t_cpu + sizes / rates).tolist()
+    if not scenario.heterogeneous:
+        return service, None
+    n = scenario.nodes
+    cpu_f = scenario.cpu_factors or (1.0,) * n
+    disk_f = scenario.disk_factors or (1.0,) * n
+    mem_f = scenario.mem_factors or (1.0,) * n
+    hot = np.zeros(scenario.n_paths, dtype=bool)
+    hot[:scenario.hot_set] = True
+    by_node = []
+    for j in range(n):
+        medium = np.where(hot, mem_f[j], disk_f[j])
+        by_node.append(
+            (scenario.t_cpu / cpu_f[j] + sizes / (rates * medium)).tolist())
+    return service, by_node
 
 
-def _popularity_cdf(scenario: FluidScenario) -> Optional[np.ndarray]:
-    """CDF over path ranks for inverse-transform sampling (None=uniform)."""
-    if scenario.alpha is None:
-        return None
-    ranks = np.arange(1, scenario.n_paths + 1, dtype=float)
-    weights = ranks ** (-float(scenario.alpha))
-    cdf = np.cumsum(weights)
-    cdf /= cdf[-1]
-    return cdf
+def _make_stepper(scenario: FluidScenario, rng: RandomStreams,
+                  service: "list[float]",
+                  service_by: "Optional[list[list[float]]]",
+                  busy: "list[float]", served: "list[int]"):
+    """Build the per-batch decision kernel for ``scenario.policy``.
 
+    Each stepper consumes one arrival batch and fills the latency /
+    node / redirected columns, advancing the shared ``busy`` clocks and
+    ``served`` counters.  The round-robin DNS cursor and any
+    policy-private state (queue deques, extra RNG substreams, hash
+    preference tables) live in the closure, carried across batches.
 
-def run_fluid(scenario: FluidScenario,
-              registry: Optional[MetricsRegistry] = None,
-              keep_records: bool = True) -> FluidResult:
-    """Run one fluid-population cell to completion.
-
-    One simulator process advances batch by batch: numpy draws a batch
-    of Poisson arrivals and Zipf path ranks, a ``sim.timeout`` jumps the
-    kernel clock to the batch end, and a tight scalar loop applies the
-    two-stage assignment to per-node busy-clocks.  Metrics go into
-    ``registry`` under the ``fluid.*`` namespace (histogram
-    ``fluid.latency_s`` on the shared ``LATENCY_BUCKETS``), and a
-    streaming sha256 fingerprints every outcome for the shard runner's
-    determinism checks.
+    The homogeneous ``sweb`` stepper is the historical inner loop moved
+    verbatim — identical float operations in identical order — so
+    pre-zoo fingerprints are preserved bit for bit (pinned by
+    ``tests/test_sched_policies.py``).  New policies draw only from
+    *new* named substreams (``fluid-po2``, ``fluid-choice``), which
+    never perturbs the arrival/path/size draws of existing runs.
     """
-    scenario.validate()
-    registry = registry if registry is not None else MetricsRegistry()
-    rng = RandomStreams(seed=scenario.seed)
-    service = _service_times(scenario, rng)
-    cdf = _popularity_cdf(scenario)
-    arrivals_gen = rng.stream("fluid-arrivals")
-    paths_gen = rng.stream("fluid-paths")
-    bounds = np.asarray(LATENCY_BUCKETS)
-
     n_nodes = scenario.nodes
     t_redirect = scenario.t_redirect
-    busy = [0.0] * n_nodes
-    served = [0] * n_nodes
-    records = FluidRecords() if keep_records else None
-    digest = hashlib.sha256()
-    bucket_counts = np.zeros(len(bounds) + 1, dtype=np.int64)
-    totals = {"latency_sum": 0.0, "lat_min": float("inf"),
-              "lat_max": float("-inf"), "redirected": 0}
+    node_range = range(n_nodes)
+    policy = scenario.policy
+    rr = 0  # round-robin DNS cursor, carried across batches
 
-    sim = Simulator()
-
-    def driver():  # noqa: ANN202 - kernel process generator
-        clock = 0.0
-        remaining = scenario.n_requests
-        node_range = range(n_nodes)
-        rr = 0  # round-robin DNS cursor, carried across batches
-        while remaining > 0:
-            m = min(scenario.batch, remaining)
-            remaining -= m
-            gaps = arrivals_gen.exponential(1.0 / scenario.rate, size=m)
-            arrivals = np.cumsum(gaps) + clock
-            clock = float(arrivals[-1])
-            if cdf is None:
-                ranks = paths_gen.integers(0, scenario.n_paths, size=m)
-            else:
-                ranks = np.searchsorted(cdf, paths_gen.random(m),
-                                        side="right")
-            # Jump the kernel to the batch horizon: the only events this
-            # model schedules are one timeout per batch.
-            if clock > sim.now:
-                yield sim.timeout(clock - sim.now)
-
-            arr_list = arrivals.tolist()
-            rank_list = ranks.tolist()
-            lat = array("d", bytes(8 * m))
-            node_col = array("i", bytes(4 * m))
-            red_col = array("b", bytes(m))
+    if policy == "sweb" and service_by is None:
+        def step(m, arr_list, rank_list, lat, node_col, red_col):
+            nonlocal rr
             redirected = 0
             for i in range(m):
                 a = arr_list[i]
@@ -319,6 +349,351 @@ def run_fluid(scenario: FluidScenario,
                     latency = finish - a
                 lat[i] = latency
                 node_col[i] = best
+            return redirected
+        return step
+
+    if policy == "sweb":
+        # Heterogeneous SWEB: same argmin, but each candidate is priced
+        # at its own node's service time (fast nodes win more requests).
+        def step(m, arr_list, rank_list, lat, node_col, red_col):
+            nonlocal rr
+            redirected = 0
+            for i in range(m):
+                a = arr_list[i]
+                rank = rank_list[i]
+                home = rr
+                rr = rr + 1
+                if rr == n_nodes:
+                    rr = 0
+                best = home
+                b = busy[home]
+                best_score = (b if b > a else a) + service_by[home][rank]
+                for j in node_range:
+                    if j == home:
+                        continue
+                    b = busy[j]
+                    score = ((b if b > a else a) + service_by[j][rank]
+                             + t_redirect)
+                    if score < best_score:
+                        best_score = score
+                        best = j
+                s = service_by[best][rank]
+                busy[best] = finish = ((busy[best] if busy[best] > a else a)
+                                       + s)
+                served[best] += 1
+                if best != home:
+                    latency = finish - a + t_redirect
+                    redirected += 1
+                    red_col[i] = 1
+                else:
+                    latency = finish - a
+                lat[i] = latency
+                node_col[i] = best
+            return redirected
+        return step
+
+    if policy == "round-robin":
+        def step(m, arr_list, rank_list, lat, node_col, red_col):
+            nonlocal rr
+            for i in range(m):
+                a = arr_list[i]
+                rank = rank_list[i]
+                home = rr
+                rr = rr + 1
+                if rr == n_nodes:
+                    rr = 0
+                s = (service[rank] if service_by is None
+                     else service_by[home][rank])
+                busy[home] = finish = ((busy[home] if busy[home] > a else a)
+                                       + s)
+                served[home] += 1
+                lat[i] = finish - a
+                node_col[i] = home
+            return 0
+        return step
+
+    if policy == "random":
+        choice_gen = rng.stream("fluid-choice")
+
+        def step(m, arr_list, rank_list, lat, node_col, red_col):
+            nonlocal rr
+            redirected = 0
+            choices = choice_gen.integers(0, n_nodes, size=m).tolist()
+            for i in range(m):
+                a = arr_list[i]
+                rank = rank_list[i]
+                home = rr
+                rr = rr + 1
+                if rr == n_nodes:
+                    rr = 0
+                best = choices[i]
+                s = (service[rank] if service_by is None
+                     else service_by[best][rank])
+                busy[best] = finish = ((busy[best] if busy[best] > a else a)
+                                       + s)
+                served[best] += 1
+                if best != home:
+                    latency = finish - a + t_redirect
+                    redirected += 1
+                    red_col[i] = 1
+                else:
+                    latency = finish - a
+                lat[i] = latency
+                node_col[i] = best
+            return redirected
+        return step
+
+    if policy in ("jsq", "po2"):
+        # Per-node FIFO queues of finish times: finishes are appended in
+        # nondecreasing order (busy clocks only advance), so draining
+        # the front past the arrival instant is amortised O(1) and
+        # len(queue) is the exact in-service job count.
+        queues = [deque() for _ in node_range]
+        po2_gen = rng.stream("fluid-po2") if policy == "po2" else None
+
+        def _count(j, a):
+            q = queues[j]
+            while q and q[0] <= a:
+                q.popleft()
+            return len(q)
+
+        def _finish_on(j, a, rank):
+            s = service[rank] if service_by is None else service_by[j][rank]
+            b = busy[j]
+            busy[j] = finish = (b if b > a else a) + s
+            queues[j].append(finish)
+            served[j] += 1
+            return finish
+
+        if policy == "jsq":
+            def step(m, arr_list, rank_list, lat, node_col, red_col):
+                nonlocal rr
+                redirected = 0
+                for i in range(m):
+                    a = arr_list[i]
+                    home = rr
+                    rr = rr + 1
+                    if rr == n_nodes:
+                        rr = 0
+                    best = home
+                    best_count = _count(home, a)
+                    for j in node_range:
+                        if j == home:
+                            continue
+                        c = _count(j, a)
+                        if c < best_count:
+                            best_count = c
+                            best = j
+                    finish = _finish_on(best, a, rank_list[i])
+                    if best != home:
+                        latency = finish - a + t_redirect
+                        redirected += 1
+                        red_col[i] = 1
+                    else:
+                        latency = finish - a
+                    lat[i] = latency
+                    node_col[i] = best
+                return redirected
+            return step
+
+        def step(m, arr_list, rank_list, lat, node_col, red_col):
+            nonlocal rr
+            redirected = 0
+            if n_nodes == 1:
+                first = [0] * m
+                second = [0] * m
+            else:
+                first = po2_gen.integers(0, n_nodes, size=m).tolist()
+                second = po2_gen.integers(0, n_nodes - 1, size=m).tolist()
+            for i in range(m):
+                a = arr_list[i]
+                home = rr
+                rr = rr + 1
+                if rr == n_nodes:
+                    rr = 0
+                x = first[i]
+                y = second[i]
+                if y >= x:   # second sample drawn over the other n-1 nodes
+                    y += 1 if n_nodes > 1 else 0
+                best = y if _count(y, a) < _count(x, a) else x
+                finish = _finish_on(best, a, rank_list[i])
+                if best != home:
+                    latency = finish - a + t_redirect
+                    redirected += 1
+                    red_col[i] = 1
+                else:
+                    latency = finish - a
+                lat[i] = latency
+                node_col[i] = best
+            return redirected
+        return step
+
+    if policy == "lwl":
+        def step(m, arr_list, rank_list, lat, node_col, red_col):
+            nonlocal rr
+            redirected = 0
+            for i in range(m):
+                a = arr_list[i]
+                rank = rank_list[i]
+                home = rr
+                rr = rr + 1
+                if rr == n_nodes:
+                    rr = 0
+                # Outstanding work in seconds; busy clocks already run
+                # in each node's own time, so the comparison is speed-
+                # normalised for free on heterogeneous clusters.
+                best = home
+                w = busy[home] - a
+                best_w = w if w > 0.0 else 0.0
+                for j in node_range:
+                    if j == home:
+                        continue
+                    w = busy[j] - a
+                    if w < 0.0:
+                        w = 0.0
+                    if w < best_w:
+                        best_w = w
+                        best = j
+                s = (service[rank] if service_by is None
+                     else service_by[best][rank])
+                busy[best] = finish = ((busy[best] if busy[best] > a else a)
+                                       + s)
+                served[best] += 1
+                if best != home:
+                    latency = finish - a + t_redirect
+                    redirected += 1
+                    red_col[i] = 1
+                else:
+                    latency = finish - a
+                lat[i] = latency
+                node_col[i] = best
+            return redirected
+        return step
+
+    if policy == "chash":
+        prefs = rank_preferences(scenario.n_paths, n_nodes)
+        inv_n = 1.0 / n_nodes
+
+        def step(m, arr_list, rank_list, lat, node_col, red_col):
+            nonlocal rr
+            redirected = 0
+            for i in range(m):
+                a = arr_list[i]
+                rank = rank_list[i]
+                home = rr
+                rr = rr + 1
+                if rr == n_nodes:
+                    rr = 0
+                order = prefs[rank]
+                total_w = 0.0
+                for j in node_range:
+                    w = busy[j] - a
+                    if w > 0.0:
+                        total_w += w
+                mean_w = total_w * inv_n
+                # Bounded load: the owner keeps the request unless its
+                # backlog exceeds twice the cluster mean plus the
+                # request itself; then walk the spill order.
+                best = order[0]
+                for j in order:
+                    w = busy[j] - a
+                    if w < 0.0:
+                        w = 0.0
+                    s_j = (service[rank] if service_by is None
+                           else service_by[j][rank])
+                    if w <= 2.0 * mean_w + s_j:
+                        best = j
+                        break
+                s = (service[rank] if service_by is None
+                     else service_by[best][rank])
+                busy[best] = finish = ((busy[best] if busy[best] > a else a)
+                                       + s)
+                served[best] += 1
+                if best != home:
+                    latency = finish - a + t_redirect
+                    redirected += 1
+                    red_col[i] = 1
+                else:
+                    latency = finish - a
+                lat[i] = latency
+                node_col[i] = best
+            return redirected
+        return step
+
+    raise ValueError(f"no fluid stepper for policy {policy!r}")
+
+
+def _popularity_cdf(scenario: FluidScenario) -> Optional[np.ndarray]:
+    """CDF over path ranks for inverse-transform sampling (None=uniform)."""
+    if scenario.alpha is None:
+        return None
+    ranks = np.arange(1, scenario.n_paths + 1, dtype=float)
+    weights = ranks ** (-float(scenario.alpha))
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+def run_fluid(scenario: FluidScenario,
+              registry: Optional[MetricsRegistry] = None,
+              keep_records: bool = True) -> FluidResult:
+    """Run one fluid-population cell to completion.
+
+    One simulator process advances batch by batch: numpy draws a batch
+    of Poisson arrivals and Zipf path ranks, a ``sim.timeout`` jumps the
+    kernel clock to the batch end, and a tight scalar loop applies the
+    two-stage assignment to per-node busy-clocks.  Metrics go into
+    ``registry`` under the ``fluid.*`` namespace (histogram
+    ``fluid.latency_s`` on the shared ``LATENCY_BUCKETS``), and a
+    streaming sha256 fingerprints every outcome for the shard runner's
+    determinism checks.
+    """
+    scenario.validate()
+    registry = registry if registry is not None else MetricsRegistry()
+    rng = RandomStreams(seed=scenario.seed)
+    service, service_by = _service_tables(scenario, rng)
+    cdf = _popularity_cdf(scenario)
+    arrivals_gen = rng.stream("fluid-arrivals")
+    paths_gen = rng.stream("fluid-paths")
+    bounds = np.asarray(LATENCY_BUCKETS)
+
+    n_nodes = scenario.nodes
+    busy = [0.0] * n_nodes
+    served = [0] * n_nodes
+    step = _make_stepper(scenario, rng, service, service_by, busy, served)
+    records = FluidRecords() if keep_records else None
+    digest = hashlib.sha256()
+    bucket_counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+    totals = {"latency_sum": 0.0, "lat_min": float("inf"),
+              "lat_max": float("-inf"), "redirected": 0}
+
+    sim = Simulator()
+
+    def driver():  # noqa: ANN202 - kernel process generator
+        clock = 0.0
+        remaining = scenario.n_requests
+        while remaining > 0:
+            m = min(scenario.batch, remaining)
+            remaining -= m
+            gaps = arrivals_gen.exponential(1.0 / scenario.rate, size=m)
+            arrivals = np.cumsum(gaps) + clock
+            clock = float(arrivals[-1])
+            if cdf is None:
+                ranks = paths_gen.integers(0, scenario.n_paths, size=m)
+            else:
+                ranks = np.searchsorted(cdf, paths_gen.random(m),
+                                        side="right")
+            # Jump the kernel to the batch horizon: the only events this
+            # model schedules are one timeout per batch.
+            if clock > sim.now:
+                yield sim.timeout(clock - sim.now)
+
+            arr_list = arrivals.tolist()
+            rank_list = ranks.tolist()
+            lat = array("d", bytes(8 * m))
+            node_col = array("i", bytes(4 * m))
+            red_col = array("b", bytes(m))
+            redirected = step(m, arr_list, rank_list, lat, node_col, red_col)
 
             lat_np = np.frombuffer(lat, dtype=np.float64)
             bucket_counts[:] += np.bincount(

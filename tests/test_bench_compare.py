@@ -137,6 +137,31 @@ def test_phase_tier_helper():
     assert bc.phase_tier("timeout_chain") is None
 
 
+def test_per_phase_threshold_table():
+    bc = _load()
+    assert bc.phase_threshold("sched_tournament@L") == 0.20
+    assert bc.phase_threshold("sched_tournament") == 0.20
+    assert bc.phase_threshold("fluid_stream@L") == bc.DEFAULT_THRESHOLD
+    # an explicit threshold beats the table
+    assert bc.phase_threshold("sched_tournament@L", 0.05) == 0.05
+
+
+def test_tournament_phase_gets_looser_budget():
+    bc = _load()
+    # 18 % slower: beyond the default 15 % budget, within the
+    # tournament phase's 20 % one
+    base = _bench_doc({"timeout_chain": 1000.0, "sched_tournament@L": 1000.0})
+    new = _bench_doc({"timeout_chain": 1000.0, "sched_tournament@L": 820.0})
+    _, ok = bc.compare(base, new)
+    assert ok
+    _, ok = bc.compare(base, new, threshold=0.15)   # uniform override
+    assert not ok
+    # the same 18 % drop on a default-budget phase still regresses
+    slow = _bench_doc({"timeout_chain": 820.0, "sched_tournament@L": 1000.0})
+    _, ok = bc.compare(base, slow)
+    assert not ok
+
+
 # -- CLI --------------------------------------------------------------------
 
 def test_cli_exit_codes(tmp_path, capsys):

@@ -100,6 +100,35 @@ def test_valid_flag_forms_accepted(tmp_path):
     assert cli == []
 
 
+def test_choices_flag_values_validated(tmp_path):
+    root = _tree(tmp_path,
+                 index="- [G](G.md)\n",
+                 pages={"G.md": (
+                     "`sweb-repro serve --scheduler sweb --nodes 4`\n"
+                     "`sweb-repro serve --scheduler=jsq`\n"
+                     "`sweb-repro serve --scheduler frobnicator`\n"
+                     "`sweb-repro serve --testbed=vax`\n")})
+    problems = check_docs.check_tree(root)
+    bad = [p for p in problems if "bad value" in p]
+    assert len(bad) == 2
+    assert any("'frobnicator'" in p and "--scheduler" in p for p in bad)
+    assert any("'vax'" in p and "--testbed" in p for p in bad)
+    # the valid spellings (space and = forms) produce no noise
+    assert not any("'sweb'" in p or "'jsq'" in p for p in problems)
+
+
+def test_experiments_page_scanned(tmp_path):
+    root = _tree(tmp_path, index="")
+    (root / "EXPERIMENTS.md").write_text(
+        "see [gone](nowhere.md)\n"
+        "`sweb-repro serve --scheduler nosuch`\n")
+    problems = check_docs.check_tree(root)
+    assert any("EXPERIMENTS.md" in p and "dead link" in p
+               for p in problems)
+    assert any("EXPERIMENTS.md" in p and "bad value 'nosuch'" in p
+               for p in problems)
+
+
 def test_missing_docs_dir_and_bad_root(tmp_path, capsys):
     empty = tmp_path / "empty"
     empty.mkdir()
