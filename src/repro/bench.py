@@ -17,7 +17,11 @@ Phases (see :data:`PHASES`):
 * ``trace_disabled``  — cost of a gated-off :class:`~repro.sim.Trace`;
 * ``end_to_end``      — the full SWEB stack serving a request stream;
 * ``coop_broker``     — cache-aware broker decisions against a seeded
-  cooperative-cache directory (the repro.cache hot path).
+  cooperative-cache directory (the repro.cache hot path);
+* ``lint_deep``       — the full static-analysis stack (per-file rules
+  plus the whole-program call graph, substream audit, and purity proof)
+  over ``src/repro``, rated in files/s — keeps ``--deep`` fast enough
+  to gate tier-1.
 
 Tier phases (``--scale {S,M,L,XL}``, see :data:`TIERS` and
 ``docs/SCALING.md``) additionally measure the million-request path:
@@ -207,6 +211,23 @@ def _phase_coop_broker(scale: float) -> tuple[int, str, dict[str, Any]]:
     return decisions, "decisions", {"nodes": 6, "hot_files": 16}
 
 
+def _phase_lint_deep(scale: float) -> tuple[int, str, dict[str, Any]]:
+    # scale is ignored: the corpus is the live tree, whose size is fixed.
+    from .lint import ContextCache, Program, run_deep, run_lint
+
+    cache = ContextCache()
+    per_file = run_lint(cache=cache)
+    program = Program.build(cache=cache)
+    deep = run_deep(cache=cache, program=program)
+    return len(cache), "files", {
+        "per_file_findings": len(per_file),
+        "deep_findings": len(deep),
+        "functions": len(program.functions),
+        "call_edges": sum(len(t) for t in program.edges.values()),
+        "reachable": len(program.sim_reachable),
+    }
+
+
 def _make_fluid_stream(tier: str) -> Callable[[float],
                                               tuple[int, str, dict[str, Any]]]:
     def body(scale: float) -> tuple[int, str, dict[str, Any]]:
@@ -254,6 +275,7 @@ PHASES: dict[str, Callable[[float], tuple[int, str, dict[str, Any]]]] = {
     "trace_disabled": _phase_trace_disabled,
     "end_to_end": _phase_end_to_end,
     "coop_broker": _phase_coop_broker,
+    "lint_deep": _phase_lint_deep,
 }
 
 def _make_sched_tournament(tier: str) -> Callable[[float],

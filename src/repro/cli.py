@@ -143,8 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: src/ and scripts/)")
     lint.add_argument("--types", action="store_true",
                       help="also run the optional mypy pass (strict on "
-                           "repro.sim and repro.core; skipped when mypy "
-                           "is not installed)")
+                           "repro.sim/core/obs/sched/lint; skipped when "
+                           "mypy is not installed)")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the whole-program analyses: call-graph "
+                           "sim-reachability, the RNG substream audit and "
+                           "observation-purity (docs/LINTING.md)")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="deep-finding baseline file (default: "
+                           ".sweb-lint-baseline.json at the repo root)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
 
@@ -448,7 +455,8 @@ def main(argv=None) -> int:
     if args.command == "lint":
         from .lint.runner import run_cli
         return run_cli(paths=args.paths, types=args.types,
-                       list_rules=args.list_rules)
+                       list_rules=args.list_rules, deep=args.deep,
+                       baseline=args.baseline)
     if args.command == "report":
         from .experiments.report import generate_report
 

@@ -14,29 +14,50 @@ paths; this package stops whole classes of drift *statically*:
   layers;
 * **scheduling misuse** — no direct ``heapq`` manipulation or access to
   the simulator's private event queue outside ``sim/engine.py``;
+* **ordering** — no set iteration without ``sorted()``, no host
+  environment/locale reads, no multiprocessing outside the canonical
+  sorted merge in ``experiments/shard.py``;
 * **docstrings** — every module and public class says what it is for.
+
+``sweb-repro lint --deep`` adds the whole-program tier: a call graph
+with sim-reachability (:mod:`repro.lint.callgraph`) so det-* hazards
+are flagged wherever the simulation can actually reach, a static RNG
+substream audit against :mod:`repro.sim.streamnames`, and the
+observation-purity proof (:mod:`repro.lint.dataflow`,
+:mod:`repro.lint.rules.purity`) that the obs layer never writes
+sim-reachable state.
 
 Run it as ``sweb-repro lint`` (see :mod:`repro.lint.runner`), suppress a
 single finding with ``# sweb-lint: disable=<rule>`` plus a justification,
 and see ``docs/LINTING.md`` for the full rule catalog.
 """
 
+from .callgraph import Program
 from .config import DEFAULT_CONFIG, LAYER_ALLOWED, LAYERS, LintConfig
+from .deep import load_baseline, run_deep
 from .diagnostics import Diagnostic, suppressions_for
-from .engine import FileContext, iter_python_files, lint_file, run_lint
-from .rules import ALL_RULES, Rule, rules_by_name
+from .engine import (ContextCache, FileContext, find_repo_root,
+                     iter_python_files, lint_file, run_lint)
+from .rules import ALL_DEEP_RULES, ALL_RULES, DeepRule, Rule, rules_by_name
 
 __all__ = [
+    "ALL_DEEP_RULES",
     "ALL_RULES",
+    "ContextCache",
     "DEFAULT_CONFIG",
+    "DeepRule",
     "Diagnostic",
     "FileContext",
     "LAYERS",
     "LAYER_ALLOWED",
     "LintConfig",
+    "Program",
     "Rule",
+    "find_repo_root",
     "iter_python_files",
     "lint_file",
+    "load_baseline",
+    "run_deep",
     "run_lint",
     "rules_by_name",
     "suppressions_for",

@@ -1,0 +1,700 @@
+"""Whole-program call graph and sim-reachability for ``--deep`` runs.
+
+The per-file rules (PR 3) gate determinism by *layer membership*: a
+wall-clock call is flagged when the file lives in a blessed layer.
+That misses the interprocedural hazards — a helper two hops below
+``Simulator.run`` that happens to live in ``workload/`` or ``bench.py``
+executes *during* the simulation just the same.  This module builds a
+conservative static call graph over ``src/repro`` using the engine's
+alias-resolution machinery, then computes **sim-reachability**: the set
+of functions transitively callable from the simulation entry points
+(``Simulator.run``/``step``, the fluid loop ``run_fluid``) and from
+every generator handed to ``Simulator.spawn``/``process``/``defer``/
+``schedule``.
+
+Resolution is deliberately over-approximate where it must be:
+
+* plain names resolve through the lexical scope chain (nested defs,
+  locals assigned from function references or factory calls, callable
+  parameters filled in by a small fixpoint over call sites);
+* ``self.method`` resolves through the class and its bases;
+* ``self.attr.method`` resolves through the attribute's annotation;
+* re-exports are chased through package ``__init__`` alias maps
+  (``repro.sim.Simulator`` → ``repro.sim.engine.Simulator``);
+* anything still unresolved falls back to class-hierarchy-analysis by
+  bare method name (every class defining that method is a candidate).
+
+Over-approximation only ever *widens* the checked set, so a clean
+``--deep`` run remains a sound "nothing non-deterministic executes
+inside a simulation" claim.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .engine import REPO_ROOT, ContextCache, FileContext, iter_python_files
+
+__all__ = ["CallSite", "ClassInfo", "FunctionInfo", "Program",
+           "DEFAULT_ENTRY_POINTS", "SPAWN_METHODS", "annotation_classes",
+           "match_args"]
+
+#: where a simulation starts: the event-kernel run loop and the fluid
+#: aggregate loop.  Everything transitively callable from these (plus
+#: spawned generators/callbacks) is "sim-reachable".
+DEFAULT_ENTRY_POINTS = (
+    "repro.sim.engine.Simulator.run",
+    "repro.sim.engine.Simulator.step",
+    "repro.workload.fluid.run_fluid",
+)
+
+#: simulator methods whose callable/generator arguments enter the event
+#: loop.  ``RandomStreams.spawn(name)`` takes a string, so it never
+#: resolves to a function and is naturally ignored here.
+SPAWN_METHODS = frozenset({"spawn", "process", "defer", "schedule"})
+
+#: method names too generic for class-hierarchy fallback — they collide
+#: with builtin container methods and would wire the graph to noise.
+_CHA_SKIP = frozenset({"get", "items", "keys", "values", "append", "add",
+                       "update", "pop", "clear", "copy", "extend", "sort",
+                       "format", "join", "split", "strip", "close", "read",
+                       "write"})
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method/nested def, with its own-body facts."""
+
+    qname: str
+    module: str
+    name: str
+    ctx: FileContext
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    cls: Optional[str]                   # owning class qname, if a method
+    parent: Optional[str]                # enclosing function qname, if nested
+    params: tuple[str, ...]              # positional then kw-only names
+    lineno: int
+    defaults: dict[str, ast.expr] = field(default_factory=dict)
+    annotations: dict[str, ast.expr] = field(default_factory=dict)
+    nested: dict[str, str] = field(default_factory=dict)
+    calls: list[ast.Call] = field(default_factory=list)
+    assigns: list[tuple[str, ast.expr]] = field(default_factory=list)
+    bound_names: set[str] = field(default_factory=set)
+    local_ann: dict[str, ast.expr] = field(default_factory=dict)
+    returned_names: set[str] = field(default_factory=set)
+    global_decls: set[str] = field(default_factory=set)
+    nonlocal_decls: set[str] = field(default_factory=set)
+    returned_functions: tuple[str, ...] = ()
+    local_callables: dict[str, set[str]] = field(default_factory=dict)
+    local_types: dict[str, str] = field(default_factory=dict)
+    param_callables: dict[str, set[str]] = field(default_factory=dict)
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, methods, and attribute annotations."""
+
+    qname: str
+    module: str
+    name: str
+    ctx: FileContext
+    node: ast.ClassDef
+    lineno: int
+    bases: tuple[str, ...] = ()
+    methods: dict[str, str] = field(default_factory=dict)
+    attr_annotations: dict[str, ast.expr] = field(default_factory=dict)
+    field_order: tuple[str, ...] = ()
+
+
+@dataclass
+class CallSite:
+    """A resolved call edge with its AST node (for argument matching)."""
+
+    caller: str
+    callee: str
+    call: ast.Call
+    ctx: FileContext
+    bound: bool      # receiver supplied implicitly (method/constructor)
+    kind: str        # "direct" | "local" | "param" | "constructor" | "cha"
+
+
+def _target_names(node: ast.expr) -> Iterator[str]:
+    """Names bound by an assignment target (tuples unpacked)."""
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            yield from _target_names(elt)
+    elif isinstance(node, ast.Starred):
+        yield from _target_names(node.value)
+
+
+def match_args(fn: FunctionInfo, call: ast.Call,
+               bound: bool) -> dict[str, ast.expr]:
+    """Map ``fn``'s parameter names to the argument expressions of ``call``.
+
+    Best-effort: ``*args`` forwarding aborts positional matching, and
+    ``**kwargs`` entries are skipped.  ``bound`` skips the implicit
+    ``self``/``cls`` parameter.
+    """
+    params = fn.params[1:] if bound and fn.params else fn.params
+    mapping: dict[str, ast.expr] = {}
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if i < len(params):
+            mapping[params[i]] = arg
+    for kw in call.keywords:
+        if kw.arg is not None:
+            mapping[kw.arg] = kw.value
+    return mapping
+
+
+def annotation_classes(program: "Program", ctx: FileContext,
+                       expr: Optional[ast.expr]) -> tuple[str, ...]:
+    """Repo classes named inside an annotation expression.
+
+    ``Optional[Span]`` → ``("repro.obs.spans.Span",)``; typing wrappers
+    and builtins resolve to nothing and drop out.  String annotations
+    are parsed best-effort.
+    """
+    if expr is None:
+        return ()
+    out: list[str] = []
+
+    def visit(node: ast.expr) -> None:
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = ctx.dotted_name(node)
+            if dotted is not None:
+                resolved = program.resolve(dotted)
+                if resolved is not None and resolved in program.classes:
+                    out.append(resolved)
+                    return
+                local = program.resolve(f"{ctx.module}.{dotted}")
+                if local is not None and local in program.classes:
+                    out.append(local)
+            return
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                visit(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                pass
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                visit(child)
+
+    visit(expr)
+    return tuple(dict.fromkeys(out))
+
+
+@dataclass
+class _Resolution:
+    """Outcome of resolving one call expression."""
+
+    targets: tuple[str, ...] = ()
+    kind: str = "none"               # direct/local/param/constructor/cha/none
+    cls: Optional[str] = None        # constructed class, for constructors
+    param_ref: Optional[tuple[str, str]] = None   # (owner qname, param name)
+
+
+class Program:
+    """The whole-program model: contexts, defs, edges, reachability."""
+
+    def __init__(self, config: Optional[LintConfig] = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.contexts: dict[str, FileContext] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.exports: dict[str, str] = {}
+        self.method_index: dict[str, tuple[str, ...]] = {}
+        self.edges: dict[str, set[str]] = {}
+        self.callsites: list[CallSite] = []
+        self.callsites_by_callee: dict[str, list[CallSite]] = {}
+        self.spawn_sites: list[tuple[str, FileContext, int]] = []
+        self.sim_reachable: dict[str, tuple[Optional[str], str]] = {}
+        self.entry_points: tuple[str, ...] = DEFAULT_ENTRY_POINTS
+        self._param_call_refs: list[tuple[str, str, str]] = []
+        self._resolve_memo: dict[str, Optional[str]] = {}
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(cls, paths: Optional[Sequence[Union[str, Path]]] = None,
+              config: Optional[LintConfig] = None,
+              cache: Optional[ContextCache] = None,
+              entry_points: Optional[Sequence[str]] = None) -> "Program":
+        """Parse every file (default: ``src/repro``) and wire the graph."""
+        program = cls(config)
+        if entry_points is not None:
+            program.entry_points = tuple(entry_points)
+        if paths is None:
+            paths = [REPO_ROOT / "src" / "repro"]
+        if cache is None:
+            cache = ContextCache(program.config)
+        for path in iter_python_files(paths):
+            try:
+                ctx = cache.get(path)
+            except SyntaxError:
+                continue
+            program.contexts[ctx.module] = ctx
+        program._register_all()
+        program._compute_local_values()
+        program._build_edges()
+        program._propagate_callable_params()
+        program._compute_reachability()
+        return program
+
+    def _register_all(self) -> None:
+        for ctx in self.contexts.values():
+            for local, target in ctx.aliases.items():
+                if "." in target and target != local:
+                    self.exports[f"{ctx.module}.{local}"] = target
+            for stmt in ctx.tree.body:
+                self._visit(ctx, stmt, fn=None, cls=None, prefix=ctx.module)
+        index: dict[str, list[str]] = {}
+        for cinfo in self.classes.values():
+            for bare, qname in cinfo.methods.items():
+                index.setdefault(bare, []).append(qname)
+        self.method_index = {k: tuple(sorted(v)) for k, v in index.items()}
+        for fn in self.functions.values():
+            fn.returned_functions = tuple(
+                fn.nested[n] for n in sorted(fn.returned_names)
+                if n in fn.nested)
+
+    def _visit(self, ctx: FileContext, node: ast.AST,
+               fn: Optional[FunctionInfo], cls: Optional[ClassInfo],
+               prefix: str) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._register_function(ctx, node, fn, cls, prefix)
+            return
+        if isinstance(node, ast.ClassDef):
+            self._register_class(ctx, node, prefix)
+            return
+        if fn is not None:
+            self._record_fact(fn, node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, fn, None, prefix)
+
+    def _register_function(self, ctx: FileContext,
+                           node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                           parent_fn: Optional[FunctionInfo],
+                           cls: Optional[ClassInfo], prefix: str) -> None:
+        qname = f"{prefix}.{node.name}"
+        args = node.args
+        pos = [*args.posonlyargs, *args.args]
+        params = tuple(a.arg for a in (*pos, *args.kwonlyargs))
+        info = FunctionInfo(
+            qname=qname, module=ctx.module, name=node.name, ctx=ctx,
+            node=node, cls=cls.qname if cls is not None else None,
+            parent=parent_fn.qname if parent_fn is not None else None,
+            params=params, lineno=node.lineno)
+        for a in (*pos, *args.kwonlyargs):
+            if a.annotation is not None:
+                info.annotations[a.arg] = a.annotation
+        for a, default in zip(pos[len(pos) - len(args.defaults):],
+                              args.defaults):
+            info.defaults[a.arg] = default
+        for a, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None:
+                info.defaults[a.arg] = kw_default
+        info.bound_names.update(params)
+        for va in (args.vararg, args.kwarg):
+            if va is not None:
+                info.bound_names.add(va.arg)
+        self.functions[qname] = info
+        if parent_fn is not None:
+            parent_fn.nested[node.name] = qname
+        if cls is not None:
+            cls.methods[node.name] = qname
+            if node.name == "__init__":
+                self._harvest_init_annotations(cls, info, node)
+        for deco in node.decorator_list:
+            if parent_fn is not None:
+                self._visit(ctx, deco, parent_fn, None, prefix)
+        for child in node.body:
+            self._visit(ctx, child, info, None, qname)
+
+    def _register_class(self, ctx: FileContext, node: ast.ClassDef,
+                        prefix: str) -> None:
+        qname = f"{prefix}.{node.name}"
+        bases = tuple(d for d in (ctx.dotted_name(b) for b in node.bases)
+                      if d is not None)
+        cinfo = ClassInfo(qname=qname, module=ctx.module, name=node.name,
+                          ctx=ctx, node=node, lineno=node.lineno, bases=bases)
+        self.classes[qname] = cinfo
+        order: list[str] = []
+        for stmt in node.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                cinfo.attr_annotations[stmt.target.id] = stmt.annotation
+                order.append(stmt.target.id)
+        cinfo.field_order = tuple(order)
+        for stmt in node.body:
+            self._visit(ctx, stmt, fn=None, cls=cinfo, prefix=qname)
+
+    def _harvest_init_annotations(self, cls: ClassInfo, info: FunctionInfo,
+                                  node: ast.AST) -> None:
+        """``self.x = param`` / ``self.x: T`` inside ``__init__``."""
+        for stmt in ast.walk(node):
+            target: Optional[ast.expr] = None
+            ann: Optional[ast.expr] = None
+            if isinstance(stmt, ast.AnnAssign):
+                target, ann = stmt.target, stmt.annotation
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(stmt.value, ast.Name):
+                    ann = info.annotations.get(stmt.value.id)
+            if (ann is not None and isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                cls.attr_annotations.setdefault(target.attr, ann)
+
+    def _record_fact(self, fn: FunctionInfo, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            fn.calls.append(node)
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                fn.bound_names.update(_target_names(t))
+            if len(node.targets) == 1 and isinstance(node.targets[0],
+                                                     ast.Name):
+                fn.assigns.append((node.targets[0].id, node.value))
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                fn.bound_names.add(node.target.id)
+                fn.local_ann[node.target.id] = node.annotation
+                if node.value is not None:
+                    fn.assigns.append((node.target.id, node.value))
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                fn.bound_names.add(node.target.id)
+        elif isinstance(node, ast.NamedExpr):
+            fn.bound_names.add(node.target.id)
+            fn.assigns.append((node.target.id, node.value))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            fn.bound_names.update(_target_names(node.target))
+        elif isinstance(node, ast.withitem):
+            if node.optional_vars is not None:
+                fn.bound_names.update(_target_names(node.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            fn.bound_names.update(_target_names(node.target))
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                fn.bound_names.add(node.name)
+        elif isinstance(node, ast.Global):
+            fn.global_decls.update(node.names)
+        elif isinstance(node, ast.Nonlocal):
+            fn.nonlocal_decls.update(node.names)
+        elif isinstance(node, ast.Return):
+            if isinstance(node.value, ast.Name):
+                fn.returned_names.add(node.value.id)
+
+    # -- name resolution ----------------------------------------------------
+    def resolve(self, dotted: str) -> Optional[str]:
+        """Canonical def qname for a dotted name, chasing re-exports."""
+        memo = self._resolve_memo
+        if dotted in memo:
+            return memo[dotted]
+        cur, seen = dotted, set()
+        result: Optional[str] = None
+        while True:
+            if cur in self.functions or cur in self.classes:
+                result = cur
+                break
+            if cur in seen or len(seen) > 25:
+                break
+            seen.add(cur)
+            nxt = self.exports.get(cur)
+            if nxt is None:
+                parts = cur.split(".")
+                for i in range(len(parts) - 1, 0, -1):
+                    prefix = ".".join(parts[:i])
+                    if prefix in self.exports:
+                        nxt = ".".join((self.exports[prefix], *parts[i:]))
+                        break
+                    if prefix in self.classes and i == len(parts) - 1:
+                        result = self.method_on(prefix, parts[-1])
+                        break
+            if nxt is None:
+                break
+            cur = nxt
+        memo[dotted] = result
+        return result
+
+    def method_on(self, cls_qname: str, name: str,
+                  _depth: int = 0) -> Optional[str]:
+        """Resolve a method through the class and its base chain."""
+        if _depth > 8:
+            return None
+        cinfo = self.classes.get(cls_qname)
+        if cinfo is None:
+            return None
+        hit = cinfo.methods.get(name)
+        if hit is not None:
+            return hit
+        for base in cinfo.bases:
+            resolved = self.resolve(base) or self.resolve(
+                f"{cinfo.module}.{base}")
+            if resolved is not None and resolved in self.classes:
+                hit = self.method_on(resolved, name, _depth + 1)
+                if hit is not None:
+                    return hit
+        return None
+
+    def _scope_chain(self, fn: FunctionInfo) -> Iterator[FunctionInfo]:
+        cur: Optional[FunctionInfo] = fn
+        while cur is not None:
+            yield cur
+            cur = self.functions.get(cur.parent) if cur.parent else None
+
+    def _callable_values(self, fn: FunctionInfo,
+                         expr: ast.expr) -> tuple[str, ...]:
+        """Function qnames an argument expression may evaluate to."""
+        if isinstance(expr, ast.Call):
+            res = self._resolve_callee(fn, expr.func)
+            out: list[str] = []
+            for t in res.targets:
+                target = self.functions.get(t)
+                if target is not None:
+                    out.extend(target.returned_functions)
+            return tuple(out)
+        if isinstance(expr, ast.Name):
+            for scope in self._scope_chain(fn):
+                if expr.id in scope.nested:
+                    return (scope.nested[expr.id],)
+                if expr.id in scope.local_callables:
+                    return tuple(sorted(scope.local_callables[expr.id]))
+                if expr.id in scope.param_callables:
+                    return tuple(sorted(scope.param_callables[expr.id]))
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            dotted = fn.ctx.dotted_name(expr)
+            if dotted is None:
+                return ()
+            for candidate in (f"{fn.module}.{dotted}", dotted):
+                resolved = self.resolve(candidate)
+                if resolved is not None and resolved in self.functions:
+                    return (resolved,)
+        return ()
+
+    def _resolve_callee(self, fn: FunctionInfo,
+                        func: ast.expr) -> _Resolution:
+        if isinstance(func, ast.Name):
+            name = func.id
+            for scope in self._scope_chain(fn):
+                if name in scope.nested:
+                    return _Resolution((scope.nested[name],), "direct")
+                if name in scope.local_callables:
+                    return _Resolution(
+                        tuple(sorted(scope.local_callables[name])), "local")
+                if name in scope.params:
+                    return _Resolution((), "param",
+                                       param_ref=(scope.qname, name))
+                if name in scope.bound_names:
+                    break
+            for candidate in (f"{fn.module}.{name}",
+                              fn.ctx.aliases.get(name, name)):
+                resolved = self.resolve(candidate)
+                if resolved is not None:
+                    return self._as_resolution(resolved, "direct")
+            return _Resolution()
+        if not isinstance(func, ast.Attribute):
+            return _Resolution()
+        dotted = fn.ctx.dotted_name(func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if parts[0] == "self" and fn.cls is not None:
+                if len(parts) == 2:
+                    hit = self.method_on(fn.cls, parts[1])
+                    if hit is not None:
+                        return _Resolution((hit,), "direct", )
+                elif len(parts) == 3:
+                    hit = self._method_via_attr(fn.ctx, fn.cls, parts[1],
+                                                parts[2])
+                    if hit is not None:
+                        return _Resolution((hit,), "direct")
+                return self._cha(func.attr)
+            root_type = None
+            for scope in self._scope_chain(fn):
+                if parts[0] in scope.local_types:
+                    root_type = scope.local_types[parts[0]]
+                    break
+                if parts[0] in scope.bound_names:
+                    break
+            if root_type is not None and len(parts) == 2:
+                hit = self.method_on(root_type, parts[1])
+                if hit is not None:
+                    return _Resolution((hit,), "direct")
+            resolved = self.resolve(dotted) or self.resolve(
+                f"{fn.module}.{dotted}")
+            if resolved is not None:
+                return self._as_resolution(resolved, "direct")
+        return self._cha(func.attr)
+
+    def _as_resolution(self, resolved: str, kind: str) -> _Resolution:
+        if resolved in self.classes:
+            init = self.method_on(resolved, "__init__")
+            targets = (init,) if init is not None else ()
+            return _Resolution(targets, "constructor", cls=resolved)
+        return _Resolution((resolved,), kind)
+
+    def _method_via_attr(self, ctx: FileContext, cls_qname: str,
+                         attr: str, method: str) -> Optional[str]:
+        cinfo = self.classes.get(cls_qname)
+        if cinfo is None:
+            return None
+        ann = cinfo.attr_annotations.get(attr)
+        for type_qname in annotation_classes(self, cinfo.ctx, ann):
+            hit = self.method_on(type_qname, method)
+            if hit is not None:
+                return hit
+        return None
+
+    def _cha(self, name: str) -> _Resolution:
+        if name in _CHA_SKIP or name.startswith("__"):
+            return _Resolution()
+        targets = self.method_index.get(name, ())
+        if targets:
+            return _Resolution(targets, "cha")
+        return _Resolution()
+
+    # -- graph construction -------------------------------------------------
+    def _compute_local_values(self) -> None:
+        for fn in self.functions.values():
+            for name, value in fn.assigns:
+                callables = self._callable_values(fn, value)
+                if callables:
+                    fn.local_callables.setdefault(name, set()).update(
+                        callables)
+                if isinstance(value, ast.Call):
+                    dotted = fn.ctx.dotted_name(value.func)
+                    if dotted is not None:
+                        resolved = (self.resolve(dotted)
+                                    or self.resolve(f"{fn.module}.{dotted}"))
+                        if resolved is not None and resolved in self.classes:
+                            fn.local_types.setdefault(name, resolved)
+            for name, ann in {**fn.annotations, **fn.local_ann}.items():
+                types = annotation_classes(self, fn.ctx, ann)
+                if len(types) == 1:
+                    fn.local_types.setdefault(name, types[0])
+
+    def _add_edge(self, caller: str, callee: str) -> bool:
+        bucket = self.edges.setdefault(caller, set())
+        if callee in bucket:
+            return False
+        bucket.add(callee)
+        return True
+
+    def _build_edges(self) -> None:
+        for fn in self.functions.values():
+            for call in fn.calls:
+                self._link(fn, call)
+
+    def _link(self, fn: FunctionInfo, call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in SPAWN_METHODS:
+            for arg in (*call.args, *(kw.value for kw in call.keywords)):
+                if isinstance(arg, ast.Call):
+                    targets = self._spawn_targets(fn, arg)
+                else:
+                    targets = tuple(t for t in self._callable_values(fn, arg)
+                                    if t in self.functions)
+                for target in targets:
+                    self.spawn_sites.append((target, fn.ctx, call.lineno))
+        res = self._resolve_callee(fn, func)
+        if res.param_ref is not None:
+            self._param_call_refs.append((fn.qname, *res.param_ref))
+            return
+        bound = (isinstance(func, ast.Attribute) or res.kind == "constructor")
+        for target in res.targets:
+            if target not in self.functions:
+                continue
+            self._add_edge(fn.qname, target)
+            if res.kind != "cha":
+                site = CallSite(caller=fn.qname, callee=target, call=call,
+                                ctx=fn.ctx, bound=bound, kind=res.kind)
+                self.callsites.append(site)
+                self.callsites_by_callee.setdefault(target, []).append(site)
+
+    def _spawn_targets(self, fn: FunctionInfo,
+                       arg: ast.Call) -> tuple[str, ...]:
+        res = self._resolve_callee(fn, arg.func)
+        return tuple(t for t in res.targets if t in self.functions)
+
+    def _propagate_callable_params(self) -> None:
+        for _ in range(6):
+            changed = False
+            for site in self.callsites:
+                callee = self.functions.get(site.callee)
+                if callee is None:
+                    continue
+                caller = self.functions.get(site.caller)
+                if caller is None:
+                    continue
+                for param, arg in match_args(callee, site.call,
+                                             site.bound).items():
+                    values = self._callable_values(caller, arg)
+                    if not values:
+                        continue
+                    bucket = callee.param_callables.setdefault(param, set())
+                    fresh = set(values) - bucket
+                    if fresh:
+                        bucket.update(fresh)
+                        changed = True
+            for caller_q, owner_q, param in self._param_call_refs:
+                owner = self.functions.get(owner_q)
+                if owner is None:
+                    continue
+                for target in owner.param_callables.get(param, ()):
+                    if target in self.functions:
+                        if self._add_edge(caller_q, target):
+                            changed = True
+            if not changed:
+                break
+
+    # -- reachability -------------------------------------------------------
+    def _compute_reachability(self) -> None:
+        reach: dict[str, tuple[Optional[str], str]] = {}
+        work: deque[str] = deque()
+        for entry in self.entry_points:
+            resolved = self.resolve(entry)
+            if resolved is not None and resolved in self.functions:
+                reach[resolved] = (None, "entry point")
+                work.append(resolved)
+        for target, ctx, lineno in self.spawn_sites:
+            if target not in reach:
+                reach[target] = (None, f"spawned at {ctx.relpath}:{lineno}")
+                work.append(target)
+        while work:
+            cur = work.popleft()
+            for callee in sorted(self.edges.get(cur, ())):
+                if callee not in reach:
+                    reach[callee] = (cur, "call")
+                    work.append(callee)
+        self.sim_reachable = reach
+
+    def is_reachable(self, qname: str) -> bool:
+        return qname in self.sim_reachable
+
+    def reachable_functions(self) -> Iterator[FunctionInfo]:
+        for qname in sorted(self.sim_reachable):
+            fn = self.functions.get(qname)
+            if fn is not None:
+                yield fn
+
+    def explain(self, qname: str, limit: int = 8) -> str:
+        """Human-readable provenance chain for one reachable function."""
+        chain: list[str] = []
+        cur: Optional[str] = qname
+        while cur is not None and len(chain) < limit:
+            parent, why = self.sim_reachable.get(cur, (None, "?"))
+            chain.append(cur if parent is not None else f"{cur} ({why})")
+            cur = parent
+        return " <- ".join(chain)

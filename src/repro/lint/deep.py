@@ -1,0 +1,80 @@
+"""The ``--deep`` driver: whole-program analyses over one shared parse.
+
+Builds the :class:`~repro.lint.callgraph.Program` (re-using the
+:class:`~repro.lint.engine.ContextCache` from the per-file pass, so the
+tree is parsed exactly once), runs every registered
+:class:`~repro.lint.rules.base.DeepRule`, then filters findings
+through the same suppression comments and allowlist as the per-file
+rules, plus an optional committed baseline file.
+
+The baseline (``.sweb-lint-baseline.json`` at the repo root) exists for
+ratcheting: landing the analyzer with known findings means recording
+them as ``"relpath::rule::message"`` entries and burning them down in
+follow-ups.  The tree is currently clean, so the committed baseline is
+empty — the tier-1 gate holds it there.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .callgraph import Program
+from .config import DEFAULT_CONFIG, LintConfig
+from .diagnostics import Diagnostic, is_suppressed, suppressions_for
+from .engine import REPO_ROOT, ContextCache
+
+__all__ = ["BASELINE_PATH", "baseline_key", "load_baseline", "run_deep"]
+
+#: committed ratchet file for known deep findings
+BASELINE_PATH = REPO_ROOT / ".sweb-lint-baseline.json"
+
+
+def baseline_key(diag: Diagnostic) -> str:
+    """Stable identity of a finding (line numbers drift; text doesn't)."""
+    return f"{diag.path}::{diag.rule}::{diag.message}"
+
+
+def load_baseline(path: Optional[Union[str, Path]] = None) -> frozenset[str]:
+    """Known-finding keys from the baseline file (empty when absent)."""
+    target = Path(path) if path is not None else BASELINE_PATH
+    if not target.is_file():
+        return frozenset()
+    data = json.loads(target.read_text())
+    return frozenset(str(entry) for entry in data.get("deep", []))
+
+
+def run_deep(paths: Optional[Sequence[Union[str, Path]]] = None,
+             config: Optional[LintConfig] = None,
+             cache: Optional[ContextCache] = None,
+             baseline: Optional[frozenset[str]] = None,
+             program: Optional[Program] = None) -> list[Diagnostic]:
+    """Run every deep rule; return unsuppressed, non-baseline findings.
+
+    ``paths`` defaults to ``src/repro`` — the whole-program model only
+    makes sense over the package.  Pass the per-file pass's ``cache``
+    to share parsed ASTs, and a prebuilt ``program`` to skip graph
+    construction entirely (the bench harness does both).
+    """
+    from .rules import ALL_DEEP_RULES
+    config = config or DEFAULT_CONFIG
+    if program is None:
+        program = Program.build(paths=paths, config=config, cache=cache)
+    if baseline is None:
+        baseline = load_baseline()
+    suppressed_by_relpath = {
+        ctx.relpath: suppressions_for(ctx.source)
+        for ctx in program.contexts.values()}
+    out: list[Diagnostic] = []
+    for rule in ALL_DEEP_RULES:
+        for diag in rule.check(program):
+            if config.allows(diag.rule, diag.path):
+                continue
+            suppressed = suppressed_by_relpath.get(diag.path, {})
+            if is_suppressed(diag, suppressed):
+                continue
+            if baseline_key(diag) in baseline:
+                continue
+            out.append(diag)
+    return sorted(out, key=lambda d: (d.path, d.line, d.rule))

@@ -20,11 +20,27 @@ from typing import Iterable, Iterator, Optional, Sequence, Union
 from .config import DEFAULT_CONFIG, LintConfig
 from .diagnostics import Diagnostic, is_suppressed, suppressions_for
 
-__all__ = ["FileContext", "ImportedModule", "iter_python_files",
-           "lint_file", "run_lint", "REPO_ROOT"]
+__all__ = ["ContextCache", "FileContext", "ImportedModule", "find_repo_root",
+           "iter_python_files", "lint_file", "run_lint", "REPO_ROOT"]
 
-#: repository root (src/repro/lint/engine.py -> three parents up from src)
-REPO_ROOT = Path(__file__).resolve().parents[3]
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """Walk up from ``start`` (default: this file) to ``pyproject.toml``.
+
+    Counting ``parents[N]`` breaks as soon as the package is installed
+    into ``site-packages`` or vendored at a different depth; the marker
+    file is the stable anchor.  Falls back to the historical
+    ``src/repro/lint`` layout when no marker exists (e.g. a bare wheel).
+    """
+    here = (start or Path(__file__)).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return Path(__file__).resolve().parents[3]
+
+
+#: repository root, anchored on pyproject.toml (see find_repo_root)
+REPO_ROOT = find_repo_root()
 
 
 @dataclass(frozen=True)
@@ -175,6 +191,32 @@ class FileContext:
                 yield node, self.dotted_name(node.func)
 
 
+class ContextCache:
+    """Parse each file at most once per lint run.
+
+    Both the per-file rule pass and the ``--deep`` whole-program
+    analyses need the same :class:`FileContext` objects; sharing them
+    through one cache keeps a full-tree ``--deep`` run to a single
+    parse of each file (the dominant cost).
+    """
+
+    def __init__(self, config: Optional[LintConfig] = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self._by_path: dict[Path, FileContext] = {}
+
+    def get(self, path: Union[str, Path]) -> FileContext:
+        """Context for ``path``, built on first request (may raise)."""
+        key = Path(path).resolve()
+        ctx = self._by_path.get(key)
+        if ctx is None:
+            ctx = FileContext.build(Path(path), self.config)
+            self._by_path[key] = ctx
+        return ctx
+
+    def __len__(self) -> int:
+        return len(self._by_path)
+
+
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
     """Expand files/directories into a sorted stream of ``*.py`` files."""
     seen: set[Path] = set()
@@ -190,14 +232,18 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
 
 def lint_file(path: Union[str, Path],
               rules: Optional[Sequence] = None,
-              config: Optional[LintConfig] = None) -> list[Diagnostic]:
+              config: Optional[LintConfig] = None,
+              cache: Optional[ContextCache] = None) -> list[Diagnostic]:
     """Run the given rules (default: all) over one file."""
     from .rules import ALL_RULES
     config = config or DEFAULT_CONFIG
     rules = list(rules) if rules is not None else list(ALL_RULES)
     path = Path(path)
     try:
-        ctx = FileContext.build(path, config)
+        if cache is not None:
+            ctx = cache.get(path)
+        else:
+            ctx = FileContext.build(path, config)
     except SyntaxError as exc:
         return [Diagnostic(str(path), exc.lineno or 1, "parse-error",
                            f"cannot parse: {exc.msg}")]
@@ -214,14 +260,19 @@ def lint_file(path: Union[str, Path],
 
 def run_lint(paths: Optional[Sequence[Union[str, Path]]] = None,
              rules: Optional[Sequence] = None,
-             config: Optional[LintConfig] = None) -> list[Diagnostic]:
+             config: Optional[LintConfig] = None,
+             cache: Optional[ContextCache] = None) -> list[Diagnostic]:
     """Lint files/dirs (default: the repo's ``src/`` and ``scripts/``).
 
     Returns every unsuppressed finding, sorted by path, line and rule.
+    Pass a :class:`ContextCache` to share parsed ASTs with a subsequent
+    deep-analysis pass.
     """
     if paths is None:
         paths = [REPO_ROOT / "src", REPO_ROOT / "scripts"]
+    if cache is None:
+        cache = ContextCache(config or DEFAULT_CONFIG)
     out: list[Diagnostic] = []
     for path in iter_python_files(paths):
-        out.extend(lint_file(path, rules=rules, config=config))
+        out.extend(lint_file(path, rules=rules, config=config, cache=cache))
     return sorted(out, key=lambda d: (d.path, d.line, d.rule))

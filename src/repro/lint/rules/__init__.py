@@ -4,24 +4,38 @@ Each rule module contributes a family; ``ALL_RULES`` is the flat,
 ordered registry the engine and the CLI use.  Adding a rule = write a
 :class:`~repro.lint.rules.base.Rule` subclass, instantiate it in its
 family's ``RULES`` tuple, and document it in ``docs/LINTING.md``.
+
+Whole-program analyses (:class:`~repro.lint.rules.base.DeepRule`)
+register in ``ALL_DEEP_RULES`` and run only under
+``sweb-repro lint --deep``.
 """
 
-from .base import Rule
+from .base import DeepRule, Rule
 from .determinism import RULES as DETERMINISM_RULES
 from .docstrings import RULES as DOCSTRING_RULES
 from .iohygiene import RULES as IO_RULES
 from .layering import RULES as LAYERING_RULES
+from .ordering import RULES as ORDERING_RULES
+from .purity import DEEP_RULES as PURITY_DEEP_RULES
+from .reach import DEEP_RULES as REACH_DEEP_RULES
 from .scheduling import RULES as SCHEDULING_RULES
+from .streams import DEEP_RULES as STREAM_DEEP_RULES
 
-__all__ = ["ALL_RULES", "Rule", "rules_by_name"]
+__all__ = ["ALL_DEEP_RULES", "ALL_RULES", "DeepRule", "Rule",
+           "rules_by_name"]
 
-#: every registered rule, in report order
+#: every registered per-file rule, in report order
 ALL_RULES: tuple[Rule, ...] = (
     DETERMINISM_RULES + LAYERING_RULES + IO_RULES + SCHEDULING_RULES
-    + DOCSTRING_RULES
+    + ORDERING_RULES + DOCSTRING_RULES
+)
+
+#: every whole-program rule, run by the --deep driver
+ALL_DEEP_RULES: tuple[DeepRule, ...] = (
+    REACH_DEEP_RULES + STREAM_DEEP_RULES + PURITY_DEEP_RULES
 )
 
 
 def rules_by_name() -> dict[str, Rule]:
-    """Registry keyed by rule identifier."""
+    """Registry keyed by rule identifier (per-file rules)."""
     return {rule.name: rule for rule in ALL_RULES}

@@ -1,4 +1,4 @@
-"""Base class shared by every sweb-lint rule."""
+"""Base classes shared by every sweb-lint rule."""
 
 from __future__ import annotations
 
@@ -7,9 +7,10 @@ from typing import TYPE_CHECKING, Iterator
 from ..diagnostics import Diagnostic
 
 if TYPE_CHECKING:
+    from ..callgraph import Program
     from ..engine import FileContext
 
-__all__ = ["Rule"]
+__all__ = ["DeepRule", "Rule"]
 
 
 class Rule:
@@ -31,3 +32,24 @@ class Rule:
              message: str) -> Diagnostic:
         """Build a diagnostic for this rule at ``line`` of the file."""
         return Diagnostic(ctx.relpath, line, self.name, message)
+
+
+class DeepRule:
+    """One whole-program check over a :class:`~repro.lint.callgraph.Program`.
+
+    Deep rules see the call graph, sim-reachability and every parsed
+    file at once; they run only under ``sweb-repro lint --deep``.
+    Findings still honour per-line suppression comments and the config
+    allowlist (the deep driver filters them by file).
+    """
+
+    name: str = ""
+    summary: str = ""
+
+    def check(self, program: "Program") -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: "FileContext", line: int, message: str,
+             rule: str = "") -> Diagnostic:
+        """Build a diagnostic (``rule`` overrides for rule families)."""
+        return Diagnostic(ctx.relpath, line, rule or self.name, message)

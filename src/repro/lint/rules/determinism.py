@@ -11,7 +11,7 @@ substreams.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from .base import Rule
 
@@ -19,7 +19,7 @@ if TYPE_CHECKING:
     from ..diagnostics import Diagnostic
     from ..engine import FileContext
 
-__all__ = ["RULES"]
+__all__ = ["RULES", "classify_call"]
 
 _WALL_CLOCK_CALLS = frozenset({
     "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
@@ -27,6 +27,42 @@ _WALL_CLOCK_CALLS = frozenset({
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
 })
+
+_ENV_CALLS = frozenset({
+    "os.getenv", "os.environ.get", "os.putenv",
+    "locale.getlocale", "locale.setlocale", "locale.getdefaultlocale",
+    "locale.getpreferredencoding", "locale.strxfrm", "locale.strcoll",
+})
+
+
+def classify_call(dotted: Optional[str]) -> Optional[tuple[str, str]]:
+    """Determinism hazard class of one resolved call, if any.
+
+    Returns ``(suffix, message)`` — the suffix completes a rule name
+    (``det-<suffix>`` per-file, ``det-reach-<suffix>`` for the deep
+    call-graph pass) so both passes flag the same hazards.
+    """
+    if dotted is None:
+        return None
+    if dotted in _WALL_CLOCK_CALLS:
+        return ("wall-clock", f"wall-clock read {dotted}(); use the engine "
+                              f"clock (sim.now)")
+    if dotted == "time.sleep":
+        return ("sleep", "time.sleep() stalls the host, not the simulation; "
+                         "yield sim.timeout(delay)")
+    if dotted == "random" or dotted.startswith("random."):
+        return ("global-random", f"{dotted}() draws from process-global "
+                                 f"state; use RandomStreams")
+    if dotted == "os.urandom":
+        return ("urandom", "os.urandom() is irreproducible entropy; "
+                           "use RandomStreams")
+    if dotted.startswith("numpy.random."):
+        return ("foreign-rng", f"{dotted}() creates an unmanaged generator; "
+                               f"only repro.sim.rng may touch numpy.random")
+    if dotted in _ENV_CALLS:
+        return ("env-read", f"{dotted}() reads host environment/locale "
+                            f"state; thread configuration in explicitly")
+    return None
 
 
 class _DeterminismRule(Rule):

@@ -1,0 +1,203 @@
+"""Ordering-determinism rules: no iteration order left to chance.
+
+CPython dicts iterate in insertion order — deterministic given a
+deterministic build.  Sets do not make that promise in any useful
+sense: string hashes are salted per process (PYTHONHASHSEED), so ``for
+x in {...}`` can produce a different order on every run.  Any set
+iteration that feeds a decision, a report line, or a float
+accumulation is therefore a reproducibility bug *anywhere* in this
+repo, not just in the blessed sim layers.  Similarly, host environment
+and locale reads smuggle per-machine state into runs, and
+multiprocessing primitives that yield results in completion order
+bypass the one canonical sorted merge in ``experiments/shard.py``.
+
+| rule | flags |
+|---|---|
+| ``order-set-iter``  | iterating / materialising a set without ``sorted()`` |
+| ``order-env-read``  | ``os.environ`` / ``os.getenv`` / ``locale`` reads in det layers |
+| ``order-mp-merge``  | multiprocessing outside shard.py; completion-order primitives anywhere |
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .base import Rule
+
+if TYPE_CHECKING:
+    from ..diagnostics import Diagnostic
+    from ..engine import FileContext
+
+__all__ = ["RULES"]
+
+#: consumers whose output depends on iteration order.  ``sorted``/
+#: ``min``/``max``/``len``/``any``/``all``/``frozenset`` are
+#: order-independent and stay legal; ``sum`` is included because float
+#: addition does not commute bit-for-bit.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "iter", "enumerate",
+                                    "sum"})
+
+#: the one file allowed to touch multiprocessing — and only through the
+#: ordered ``pool.map`` + sorted-by-cell-id merge
+_CANONICAL_SHARD = "src/repro/experiments/shard.py"
+
+_UNORDERED_PRIMITIVES = frozenset({"imap_unordered", "as_completed"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Syntactically set-valued: literal, comprehension, set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_set_annotation(ann: Optional[ast.expr]) -> bool:
+    if ann is None:
+        return False
+    target = ann.value if isinstance(ann, ast.Subscript) else ann
+    return isinstance(target, ast.Name) and target.id in ("set", "frozenset")
+
+
+class SetIterationRule(Rule):
+    """Iterating a set hands your ordering to the hash salt."""
+
+    name = "order-set-iter"
+    summary = ("no iterating/materialising a set without sorted(); set "
+               "order varies with the per-process hash seed")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if ctx.layer is None:
+            return
+        # name -> ordered (lineno, is_set) assignment history, so a
+        # later `x = sorted(x)` rebinding clears the taint
+        history: dict[str, list[tuple[int, bool]]] = {}
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                a = node.args
+                for arg in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+                    if _is_set_annotation(arg.annotation):
+                        history.setdefault(arg.arg, []).append(
+                            (node.lineno, True))
+                continue
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+                if (isinstance(node.target, ast.Name)
+                        and _is_set_annotation(node.annotation)):
+                    history.setdefault(node.target.id, []).append(
+                        (node.lineno, True))
+                    continue
+            for target in targets:
+                if isinstance(target, ast.Name) and value is not None:
+                    history.setdefault(target.id, []).append(
+                        (node.lineno, _is_set_expr(value)))
+
+        def is_set_valued(expr: ast.expr, lineno: int) -> bool:
+            if _is_set_expr(expr):
+                return True
+            if isinstance(expr, ast.Name):
+                entries = [flag for line, flag in history.get(expr.id, ())
+                           if line <= lineno]
+                return bool(entries) and entries[-1]
+            return False
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_set_valued(node.iter, node.lineno):
+                    yield self._finding(ctx, node.lineno, "for loop")
+            elif isinstance(node, ast.comprehension):
+                if is_set_valued(node.iter, node.iter.lineno):
+                    yield self._finding(ctx, node.iter.lineno,
+                                        "comprehension")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Name)
+                        and func.id in _ORDER_SENSITIVE_CALLS
+                        and node.args
+                        and is_set_valued(node.args[0], node.lineno)):
+                    yield self._finding(ctx, node.lineno,
+                                        f"{func.id}() call")
+                elif (isinstance(func, ast.Attribute)
+                      and func.attr == "join" and node.args
+                      and is_set_valued(node.args[0], node.lineno)):
+                    yield self._finding(ctx, node.lineno, "str.join()")
+            elif isinstance(node, ast.Starred):
+                if is_set_valued(node.value, getattr(node, "lineno", 1)):
+                    yield self._finding(ctx, node.lineno, "unpacking")
+
+    def _finding(self, ctx: "FileContext", line: int,
+                 where: str) -> "Diagnostic":
+        return self.diag(ctx, line,
+                         f"{where} iterates a set; order follows the "
+                         f"per-process hash seed — wrap it in sorted()")
+
+
+class EnvReadRule(Rule):
+    """No host environment/locale reads in sim-reachable layers."""
+
+    name = "order-env-read"
+    summary = ("no os.environ/os.getenv/locale reads in sim-reachable "
+               "layers; thread configuration in explicitly")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if ctx.layer not in ctx.config.determinism_layers:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "environ":
+                if ctx.dotted_name(node) == "os.environ":
+                    yield self.diag(ctx, node.lineno,
+                                    "reads os.environ; per-host environment "
+                                    "must not steer a simulation")
+            elif isinstance(node, ast.Call):
+                dotted = ctx.dotted_name(node.func)
+                if dotted == "os.getenv" or (dotted or "").startswith(
+                        "locale."):
+                    yield self.diag(ctx, node.lineno,
+                                    f"{dotted}() reads host "
+                                    f"environment/locale state")
+
+
+class MultiprocessingMergeRule(Rule):
+    """All cross-process accumulation goes through the canonical merge."""
+
+    name = "order-mp-merge"
+    summary = ("multiprocessing only in experiments/shard.py, and never "
+               "via completion-order primitives "
+               "(imap_unordered/as_completed)")
+
+    def check(self, ctx: "FileContext") -> Iterator["Diagnostic"]:
+        if ctx.layer is None:
+            return
+        in_shard = ctx.relpath == _CANONICAL_SHARD
+        if not in_shard:
+            for imp in ctx.imports:
+                if (imp.module.split(".")[0] in ("multiprocessing",
+                                                 "concurrent")
+                        and not imp.type_checking):
+                    yield self.diag(ctx, imp.lineno,
+                                    f"imports {imp.module}; cross-process "
+                                    f"work belongs in experiments/shard.py "
+                                    f"behind its sorted snapshot merge")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (func.attr if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name) else "")
+                if name in _UNORDERED_PRIMITIVES:
+                    yield self.diag(ctx, node.lineno,
+                                    f"{name}() yields results in completion "
+                                    f"order; use the ordered pool.map + "
+                                    f"sorted merge in experiments/shard.py")
+
+
+RULES = (SetIterationRule(), EnvReadRule(), MultiprocessingMergeRule())

@@ -1,0 +1,273 @@
+"""Observation-purity: the obs layer provably never writes sim state.
+
+PR 5 pinned "tracing is observation-only" *dynamically*: the golden
+determinism fingerprint is bit-identical with and without a tracer.
+This deep rule turns that into a static guarantee, in three steps over
+the :mod:`~repro.lint.dataflow` mutation summaries:
+
+1. **Intraprocedural summaries** for every obs-layer function: which
+   roots it writes (self / parameter / module global).
+2. **Interprocedural fixpoint** over the call graph: if ``callee``
+   mutates its parameter ``p`` and a caller passes its own parameter
+   ``q`` (or ``self``) for ``p``, the caller mutates ``q`` too; a
+   method call on a parameter-rooted receiver whose callee mutates
+   ``self`` likewise propagates.
+3. **Contract checks**:
+
+   * ``purity-obs-global`` — an obs function writes module-level state;
+   * ``purity-obs-param`` — an obs function mutates a parameter whose
+     annotation is not an obs-layer type (mutating a ``Span`` is the
+     layer's job; mutating anything else is writing caller state);
+   * ``purity-obs-writeback`` — sim-reachable non-obs code passes a
+     value that is not statically an obs handle into an obs call that
+     mutates it.
+
+Combined with the layering rule (obs imports nothing above itself),
+a clean run proves: every ``tracer=``/metrics code path can only ever
+write obs-owned objects — never sim-reachable state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ..callgraph import FunctionInfo, annotation_classes, match_args
+from ..dataflow import MutationSummary, analyze_mutations
+from .base import DeepRule
+
+if TYPE_CHECKING:
+    from ..callgraph import CallSite, Program
+    from ..diagnostics import Diagnostic
+
+__all__ = ["DEEP_RULES", "ObservationPurityRule"]
+
+_OBS_PREFIX = "repro.obs."
+
+
+def _is_obs_qname(qname: str) -> bool:
+    return qname.startswith(_OBS_PREFIX)
+
+
+def _chain_root_name(expr: ast.expr) -> Optional[str]:
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+class ObservationPurityRule(DeepRule):
+    """Static form of the PR 5 observation-only contract."""
+
+    name = "purity-obs"
+    summary = ("obs-layer functions may mutate only their own state and "
+               "obs-annotated parameters; sim code may hand obs calls "
+               "only obs-typed handles")
+
+    def check(self, program: "Program") -> Iterator["Diagnostic"]:
+        obs_fns = {fn.qname: fn for fn in program.functions.values()
+                   if fn.ctx.layer == "obs"}
+        summaries: dict[str, MutationSummary] = {
+            qname: analyze_mutations(fn) for qname, fn in obs_fns.items()}
+        self._reclassify_closures(program, obs_fns, summaries)
+        self._propagate(program, obs_fns, summaries)
+
+        for qname in sorted(obs_fns):
+            fn, summary = obs_fns[qname], summaries[qname]
+            for name, line in sorted(summary.mutated_globals.items()):
+                yield self.diag(
+                    fn.ctx, line,
+                    f"obs function {fn.name}() mutates module-level state "
+                    f"'{name}'; the observation layer must be "
+                    f"side-effect-free",
+                    rule="purity-obs-global")
+            for param, line in sorted(summary.mutated_params.items()):
+                if self._obs_annotated(program, fn, param):
+                    continue
+                yield self.diag(
+                    fn.ctx, line,
+                    f"obs function {fn.name}() mutates parameter '{param}' "
+                    f"which is not annotated as an obs type — the "
+                    f"observation layer must not write caller state",
+                    rule="purity-obs-param")
+
+        yield from self._check_boundary(program, obs_fns, summaries)
+
+    def _reclassify_closures(self, program: "Program",
+                             obs_fns: dict[str, FunctionInfo],
+                             summaries: dict[str, MutationSummary]) -> None:
+        """Closure writes are not global writes.
+
+        ``totals[key] += v`` inside a nested function mutates the
+        *enclosing* function's local without any ``nonlocal`` (no
+        rebinding), so the intraprocedural pass sees an unbound root.
+        Walk the lexical chain: an enclosing local is own-state, an
+        enclosing parameter is that function's parameter mutation.
+        """
+        for qname, fn in obs_fns.items():
+            summary = summaries[qname]
+            for name, line in list(summary.mutated_globals.items()):
+                for scope in program._scope_chain(fn):
+                    if scope.qname == qname:
+                        continue
+                    if name in scope.params:
+                        del summary.mutated_globals[name]
+                        outer = summaries.get(scope.qname)
+                        if outer is not None:
+                            outer.record_param(name, line)
+                        break
+                    if name in scope.bound_names:
+                        del summary.mutated_globals[name]
+                        break
+
+    # -- interprocedural fixpoint -------------------------------------------
+    def _propagate(self, program: "Program",
+                   obs_fns: dict[str, FunctionInfo],
+                   summaries: dict[str, MutationSummary]) -> None:
+        sites = [s for s in program.callsites
+                 if s.caller in obs_fns and s.callee in obs_fns]
+        for _ in range(8):
+            changed = False
+            for site in sites:
+                callee_s = summaries[site.callee]
+                caller = obs_fns[site.caller]
+                caller_s = summaries[site.caller]
+                before = (caller_s.mutates_self,
+                          len(caller_s.mutated_params),
+                          len(caller_s.mutated_globals))
+                mapping = match_args(obs_fns[site.callee], site.call,
+                                     site.bound)
+                for param in callee_s.mutated_params:
+                    arg = mapping.get(param)
+                    if arg is not None:
+                        self._record_root(caller, caller_s, arg,
+                                          site.call.lineno)
+                if callee_s.mutates_self and site.bound and isinstance(
+                        site.call.func, ast.Attribute):
+                    self._record_root(caller, caller_s, site.call.func.value,
+                                      site.call.lineno)
+                after = (caller_s.mutates_self,
+                         len(caller_s.mutated_params),
+                         len(caller_s.mutated_globals))
+                changed = changed or before != after
+            if not changed:
+                break
+
+    def _record_root(self, fn: FunctionInfo, summary: MutationSummary,
+                     expr: ast.expr, line: int) -> None:
+        root = _chain_root_name(expr)
+        if root is None:
+            return
+        self_name = fn.params[0] if fn.is_method and fn.params else None
+        if root == self_name:
+            summary.record_self(line)
+        elif root in fn.params:
+            summary.record_param(root, line)
+        elif root not in fn.bound_names:
+            summary.record_global(root, line)
+
+    def _obs_annotated(self, program: "Program", fn: FunctionInfo,
+                       param: str) -> bool:
+        classes = annotation_classes(program, fn.ctx,
+                                     fn.annotations.get(param))
+        return bool(classes) and all(_is_obs_qname(c) for c in classes)
+
+    # -- the sim → obs boundary ---------------------------------------------
+    def _check_boundary(self, program: "Program",
+                        obs_fns: dict[str, FunctionInfo],
+                        summaries: dict[str, MutationSummary]
+                        ) -> Iterator["Diagnostic"]:
+        for site in program.callsites:
+            if site.callee not in obs_fns or site.caller in obs_fns:
+                continue
+            caller = program.functions.get(site.caller)
+            if caller is None:
+                continue
+            callee = obs_fns[site.callee]
+            callee_s = summaries[site.callee]
+            if not callee_s.mutated_params:
+                continue
+            mapping = match_args(callee, site.call, site.bound)
+            for param in sorted(callee_s.mutated_params):
+                arg = mapping.get(param)
+                if arg is None:
+                    continue
+                if self._is_obs_value(program, caller, arg, depth=3):
+                    continue
+                yield self.diag(
+                    caller.ctx, site.call.lineno,
+                    f"passes a value that is not statically an obs handle "
+                    f"into {callee.name}(), which mutates parameter "
+                    f"'{param}' — obs calls may only write obs-owned "
+                    f"objects",
+                    rule="purity-obs-writeback")
+
+    def _is_obs_value(self, program: "Program", fn: FunctionInfo,
+                      expr: ast.expr, depth: int) -> bool:
+        """Is ``expr`` statically an obs-layer object (or None)?"""
+        if depth <= 0:
+            return False
+        if isinstance(expr, ast.Constant) and expr.value is None:
+            return True
+        if isinstance(expr, ast.IfExp):
+            return (self._is_obs_value(program, fn, expr.body, depth - 1)
+                    and self._is_obs_value(program, fn, expr.orelse,
+                                           depth - 1))
+        if isinstance(expr, ast.BoolOp):
+            return all(self._is_obs_value(program, fn, v, depth - 1)
+                       for v in expr.values)
+        if isinstance(expr, ast.Name):
+            for scope in program._scope_chain(fn):
+                found = scope.local_types.get(expr.id)
+                if found is not None:
+                    return _is_obs_qname(found)
+                assigns = [v for n, v in scope.assigns if n == expr.id]
+                if assigns:
+                    return all(
+                        self._is_obs_value(program, scope, v, depth - 1)
+                        for v in assigns)
+                if expr.id in scope.params:
+                    return self._obs_annotated(program, scope, expr.id)
+                if expr.id in scope.bound_names:
+                    return False
+            return False
+        if isinstance(expr, ast.Attribute):
+            owner = self._receiver_class(program, fn, expr.value)
+            if owner is not None:
+                cinfo = program.classes.get(owner)
+                if cinfo is not None:
+                    ann = cinfo.attr_annotations.get(expr.attr)
+                    classes = annotation_classes(program, cinfo.ctx, ann)
+                    return bool(classes) and all(_is_obs_qname(c)
+                                                 for c in classes)
+            return False
+        if isinstance(expr, ast.Call):
+            res = program._resolve_callee(fn, expr.func)
+            if res.kind == "constructor" and res.cls is not None:
+                return _is_obs_qname(res.cls)
+            for target in res.targets:
+                callee = program.functions.get(target)
+                if callee is None:
+                    continue
+                classes = annotation_classes(program, callee.ctx,
+                                             callee.node.returns)
+                if classes and all(_is_obs_qname(c) for c in classes):
+                    return True
+            return False
+        return False
+
+    def _receiver_class(self, program: "Program", fn: FunctionInfo,
+                        expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            if (fn.is_method and fn.params and expr.id == fn.params[0]
+                    and fn.cls is not None):
+                return fn.cls
+            for scope in program._scope_chain(fn):
+                found = scope.local_types.get(expr.id)
+                if found is not None:
+                    return found
+                if expr.id in scope.bound_names:
+                    return None
+        return None
+
+
+DEEP_RULES = (ObservationPurityRule(),)

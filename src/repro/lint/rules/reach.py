@@ -1,0 +1,65 @@
+"""Call-graph determinism: det-* hazards anywhere sim-reachable.
+
+The per-file det-* rules gate by *layer membership* — a blessed-layer
+file gets checked, everything else is exempt.  This deep rule closes
+the gap: any function transitively callable from ``Simulator.run``/
+``step``, the fluid loop, or a spawned generator executes *during* a
+simulation regardless of which file it lives in (``bench.py`` phase
+drivers, experiment generators, nested workload closures).  Findings
+carry the reachability chain so the "why is this sim-reachable?"
+question answers itself.
+
+Rule names are ``det-reach-<suffix>`` with the same suffixes as the
+per-file ``det-<suffix>`` family, plus ``env-read`` (host environment /
+locale state has no business steering a simulation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..dataflow import iter_own_nodes
+from .base import DeepRule
+from .determinism import classify_call
+
+if TYPE_CHECKING:
+    from ..callgraph import Program
+    from ..diagnostics import Diagnostic
+
+__all__ = ["DEEP_RULES", "ReachDeterminismRule"]
+
+
+class ReachDeterminismRule(DeepRule):
+    """det-* checking driven by sim-reachability, not layer membership."""
+
+    name = "det-reach"
+    summary = ("determinism hazards in any function reachable from the "
+               "simulation entry points, regardless of layer")
+
+    def check(self, program: "Program") -> Iterator["Diagnostic"]:
+        det_layers = program.config.determinism_layers
+        for fn in program.reachable_functions():
+            if fn.ctx.layer in det_layers:
+                continue   # already covered by the per-file det-* pass
+            chain = program.explain(fn.qname, limit=4)
+            for call in fn.calls:
+                hazard = classify_call(fn.ctx.dotted_name(call.func))
+                if hazard is not None:
+                    suffix, message = hazard
+                    yield self.diag(
+                        fn.ctx, call.lineno,
+                        f"{message} [sim-reachable: {chain}]",
+                        rule=f"det-reach-{suffix}")
+            for node in iter_own_nodes(fn):
+                if (isinstance(node, ast.Attribute)
+                        and node.attr == "environ"
+                        and fn.ctx.dotted_name(node) == "os.environ"):
+                    yield self.diag(
+                        fn.ctx, node.lineno,
+                        f"os.environ read in sim-reachable code "
+                        f"[sim-reachable: {chain}]",
+                        rule="det-reach-env-read")
+
+
+DEEP_RULES = (ReachDeterminismRule(),)

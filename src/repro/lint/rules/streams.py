@@ -1,0 +1,266 @@
+"""RNG substream audit: every name literal, registered and collision-free.
+
+``RandomStreams`` (src/repro/sim/rng.py) derives each substream's seed
+from ``crc32(name)``.  Two hazards follow: a *dynamic* name defeats
+auditing entirely, and two distinct names sharing a crc32 value yield
+bit-identical "independent" streams.  This deep rule statically
+collects every name reaching a RandomStreams draw anywhere in the
+program — through defaults and call-site arguments for parameterised
+names like ``zipf_sampler(stream=...)``, and through string
+concatenation for derived names like ``stream + "-tail"`` — then checks
+the used set against the central registry ``sim/streamnames.py``:
+
+* ``stream-dynamic``       — a name the analyzer cannot resolve to literals
+* ``stream-unregistered``  — a used name missing from STREAM_NAMES
+* ``stream-unused``        — a registered name no call site uses
+* ``stream-collision``     — two names sharing a crc32 key
+
+``sim/rng.py`` itself is exempt (it is the implementation: its internal
+``self.stream(name)`` forwards are what the audit resolves through).
+"""
+
+from __future__ import annotations
+
+import ast
+import zlib
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ..callgraph import FunctionInfo, match_args
+from .base import DeepRule
+
+if TYPE_CHECKING:
+    from ..callgraph import Program
+    from ..diagnostics import Diagnostic
+
+__all__ = ["DEEP_RULES", "StreamAuditRule"]
+
+#: RandomStreams methods whose first argument is a substream name
+_RNG_NAME_METHODS = frozenset({"stream", "spawn", "uniform", "exponential",
+                               "integers", "choice", "zipf_index"})
+
+#: methods where a string first argument alone marks an rng call (numpy
+#: generators never take a name; Simulator.spawn takes a generator)
+_STRING_ARG_METHODS = _RNG_NAME_METHODS - {"spawn"}
+
+_RANDOM_STREAMS = "repro.sim.rng.RandomStreams"
+_REGISTRY_MODULE = "repro.sim.streamnames"
+_IMPL_RELPATHS = frozenset({"src/repro/sim/rng.py",
+                            "src/repro/sim/streamnames.py"})
+
+#: sentinel distinguishing "dynamic" from "no values found"
+_DYNAMIC = None
+
+
+class StreamAuditRule(DeepRule):
+    """Used ↔ registered bijection and crc32 collision-freedom."""
+
+    name = "stream-audit"
+    summary = ("every RandomStreams substream name must be a resolvable "
+               "literal, registered in sim/streamnames.py, and "
+               "crc32-collision-free")
+
+    def check(self, program: "Program") -> Iterator["Diagnostic"]:
+        used: dict[str, list[tuple[FunctionInfo, int]]] = {}
+        for fn in program.functions.values():
+            if fn.ctx.relpath in _IMPL_RELPATHS:
+                continue
+            for call in fn.calls:
+                name_expr = self._rng_name_expr(program, fn, call)
+                if name_expr is _DYNAMIC:
+                    continue
+                values = self._resolve_name(program, fn, name_expr, set())
+                if values is _DYNAMIC:
+                    yield self.diag(
+                        fn.ctx, call.lineno,
+                        "substream name is not a resolvable literal; "
+                        "dynamic names defeat the crc32 audit — register "
+                        "explicit names in sim/streamnames.py",
+                        rule="stream-dynamic")
+                    continue
+                for value in values:
+                    used.setdefault(value, []).append((fn, call.lineno))
+
+        registered = self._registered(program)
+        if registered is not None:
+            reg_names, reg_ctx, reg_lines = registered
+            for value in sorted(used):
+                if value not in reg_names:
+                    fn, lineno = min(
+                        used[value], key=lambda u: (u[0].ctx.relpath, u[1]))
+                    yield self.diag(
+                        fn.ctx, lineno,
+                        f"substream name '{value}' is not registered in "
+                        f"sim/streamnames.py",
+                        rule="stream-unregistered")
+            for value in reg_names:
+                if value not in used:
+                    yield self.diag(
+                        reg_ctx, reg_lines.get(value, 1),
+                        f"registered substream '{value}' has no call site; "
+                        f"remove it or wire it up",
+                        rule="stream-unused")
+            pool = sorted(set(reg_names) | set(used))
+        else:
+            reg_ctx, reg_lines = None, {}
+            pool = sorted(used)
+
+        by_key: dict[int, str] = {}
+        for value in pool:
+            key = zlib.crc32(value.encode("utf-8"))
+            other = by_key.get(key)
+            if other is not None and other != value:
+                if reg_ctx is not None:
+                    ctx = reg_ctx
+                    line = reg_lines.get(value) or reg_lines.get(other) or 1
+                else:
+                    fn, line = used[value][0]
+                    ctx = fn.ctx
+                yield self.diag(
+                    ctx, line,
+                    f"substream names '{other}' and '{value}' collide under "
+                    f"crc32 keying — their streams would be identical",
+                    rule="stream-collision")
+            else:
+                by_key[key] = value
+
+    # -- rng-call detection -------------------------------------------------
+    def _rng_name_expr(self, program: "Program", fn: FunctionInfo,
+                       call: ast.Call) -> Optional[ast.expr]:
+        func = call.func
+        if (not isinstance(func, ast.Attribute)
+                or func.attr not in _RNG_NAME_METHODS):
+            return _DYNAMIC
+        first: Optional[ast.expr] = call.args[0] if call.args else None
+        if first is None:
+            for kw in call.keywords:
+                if kw.arg == "name":
+                    first = kw.value
+                    break
+        if first is None:
+            return _DYNAMIC
+        if not self._receiver_is_rng(program, fn, func.value):
+            if not (func.attr in _STRING_ARG_METHODS
+                    and isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                return _DYNAMIC
+        return first
+
+    def _receiver_is_rng(self, program: "Program", fn: FunctionInfo,
+                         recv: ast.expr) -> bool:
+        if isinstance(recv, ast.Name):
+            for scope in program._scope_chain(fn):
+                found = scope.local_types.get(recv.id)
+                if found is not None:
+                    return found == _RANDOM_STREAMS
+                if recv.id in scope.bound_names:
+                    break
+        dotted = fn.ctx.dotted_name(recv)
+        if dotted is not None:
+            last = dotted.split(".")[-1]
+            if last in ("rng", "streams", "random_streams"):
+                return True
+        return False
+
+    # -- literal resolution -------------------------------------------------
+    def _resolve_name(self, program: "Program", fn: FunctionInfo,
+                      expr: ast.expr,
+                      visiting: set[tuple[str, str]]
+                      ) -> Optional[frozenset[str]]:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, str):
+                return frozenset({expr.value})
+            return _DYNAMIC
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+            left = self._resolve_name(program, fn, expr.left, visiting)
+            right = self._resolve_name(program, fn, expr.right, visiting)
+            if left is _DYNAMIC or right is _DYNAMIC:
+                return _DYNAMIC
+            return frozenset({a + b for a in left for b in right})
+        if isinstance(expr, ast.JoinedStr):
+            parts: list[frozenset[str]] = []
+            for piece in expr.values:
+                if isinstance(piece, ast.Constant):
+                    parts.append(frozenset({str(piece.value)}))
+                elif isinstance(piece, ast.FormattedValue):
+                    resolved = self._resolve_name(program, fn, piece.value,
+                                                  visiting)
+                    if resolved is _DYNAMIC:
+                        return _DYNAMIC
+                    parts.append(resolved)
+            out = [""]
+            for part in parts:
+                out = [a + b for a in out for b in sorted(part)]
+            return frozenset(out)
+        if isinstance(expr, ast.Name):
+            # the name may live in an enclosing function's scope — the
+            # sampler closures read their factory's ``stream`` parameter
+            for scope in program._scope_chain(fn):
+                if expr.id in scope.params:
+                    return self._resolve_param(program, scope, expr.id,
+                                               visiting)
+                assigns = [v for n, v in scope.assigns if n == expr.id]
+                if len(assigns) == 1:
+                    return self._resolve_name(program, scope, assigns[0],
+                                              visiting)
+                if expr.id in scope.bound_names:
+                    return _DYNAMIC
+            return _DYNAMIC
+        return _DYNAMIC
+
+    def _resolve_param(self, program: "Program", fn: FunctionInfo,
+                       param: str, visiting: set[tuple[str, str]]
+                       ) -> Optional[frozenset[str]]:
+        key = (fn.qname, param)
+        if key in visiting or len(visiting) > 8:
+            return _DYNAMIC
+        visiting = visiting | {key}
+        values: set[str] = set()
+        default = fn.defaults.get(param)
+        if default is not None:
+            resolved = self._resolve_name(program, fn, default, visiting)
+            if resolved is _DYNAMIC:
+                return _DYNAMIC
+            values.update(resolved)
+        for site in program.callsites_by_callee.get(fn.qname, ()):
+            caller = program.functions.get(site.caller)
+            if caller is None:
+                return _DYNAMIC
+            arg = match_args(fn, site.call, site.bound).get(param)
+            if arg is None:
+                if default is None:
+                    return _DYNAMIC
+                continue
+            resolved = self._resolve_name(program, caller, arg, visiting)
+            if resolved is _DYNAMIC:
+                return _DYNAMIC
+            values.update(resolved)
+        if not values:
+            return _DYNAMIC
+        return frozenset(values)
+
+    # -- registry parsing ---------------------------------------------------
+    def _registered(self, program: "Program"
+                    ) -> Optional[tuple[frozenset[str], object,
+                                        dict[str, int]]]:
+        ctx = program.contexts.get(_REGISTRY_MODULE)
+        if ctx is None:
+            return None   # fixture trees carry no registry; skip bijection
+        for node in ctx.tree.body:
+            target: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            if (isinstance(target, ast.Name)
+                    and target.id == "STREAM_NAMES"
+                    and isinstance(getattr(node, "value", None), ast.Dict)):
+                names: dict[str, int] = {}
+                for k in node.value.keys:
+                    if (isinstance(k, ast.Constant)
+                            and isinstance(k.value, str)):
+                        names[k.value] = k.lineno
+                return frozenset(names), ctx, names
+        return None
+
+
+DEEP_RULES = (StreamAuditRule(),)

@@ -2,8 +2,11 @@
 
 Runs every registered rule over ``src/`` and ``scripts/`` (or explicit
 paths), prints ``file:line: rule: message`` diagnostics, and exits
-non-zero when anything is found.  ``--types`` additionally runs the
-optional mypy pass (strict on ``repro.sim`` and ``repro.core``, see
+non-zero when anything is found.  ``--deep`` additionally runs the
+whole-program analyses (call-graph sim-reachability, the RNG substream
+audit, observation-purity) over ``src/repro``, sharing one parsed-AST
+cache with the per-file pass.  ``--types`` runs the optional mypy pass
+(strict on ``repro.sim``/``core``/``obs``/``sched``/``lint``, see
 ``pyproject.toml``); when mypy is not installed the pass is skipped
 with a notice rather than failing, so the analyzer has no hard
 dependency beyond the standard library.
@@ -16,13 +19,15 @@ import subprocess
 import sys
 from typing import Optional, Sequence
 
-from .engine import REPO_ROOT, run_lint
-from .rules import ALL_RULES
+from .deep import load_baseline, run_deep
+from .engine import REPO_ROOT, ContextCache, run_lint
+from .rules import ALL_DEEP_RULES, ALL_RULES
 
 __all__ = ["run_cli", "run_types_pass"]
 
 #: trees the strict mypy pass covers (mirrors [tool.mypy] in pyproject.toml)
-MYPY_TARGETS = ("src/repro/sim", "src/repro/core")
+MYPY_TARGETS = ("src/repro/sim", "src/repro/core", "src/repro/obs",
+                "src/repro/sched", "src/repro/lint")
 
 
 def run_types_pass() -> int:
@@ -39,14 +44,27 @@ def run_types_pass() -> int:
 
 def run_cli(paths: Optional[Sequence[str]] = None,
             types: bool = False,
-            list_rules: bool = False) -> int:
+            list_rules: bool = False,
+            deep: bool = False,
+            baseline: Optional[str] = None) -> int:
     """Drive one lint run; returns the process exit code."""
     if list_rules:
-        width = max(len(rule.name) for rule in ALL_RULES)
-        for rule in ALL_RULES:
-            print(f"{rule.name:<{width}}  {rule.summary}")
+        rows = [(rule.name, rule.summary) for rule in ALL_RULES]
+        rows += [(rule.name, f"[deep] {rule.summary}")
+                 for rule in ALL_DEEP_RULES]
+        width = max(len(name) for name, _ in rows)
+        for name, summary in rows:
+            print(f"{name:<{width}}  {summary}")
         return 0
-    diagnostics = run_lint(paths=paths or None)
+    cache = ContextCache()
+    diagnostics = run_lint(paths=paths or None, cache=cache)
+    if deep:
+        # explicit paths lint just those files; the whole-program pass
+        # still needs the full package, so it keeps its own default
+        diagnostics = sorted(
+            diagnostics + run_deep(cache=cache,
+                                   baseline=load_baseline(baseline)),
+            key=lambda d: (d.path, d.line, d.rule))
     for diag in diagnostics:
         print(diag.format())
     status = 0

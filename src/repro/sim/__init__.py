@@ -31,6 +31,7 @@ from .monitor import Monitor, ascii_series, ascii_sparkline
 from .resources import Container, Resource, Store
 from .rng import RandomStreams
 from .stats import Counter, PhaseAccumulator, Summary, Tally, TimeWeighted
+from .streamnames import STREAM_NAMES, crc32_key, stream_collisions
 from .trace import DETAIL as TRACE_DETAIL
 from .trace import SUMMARY as TRACE_SUMMARY
 from .trace import Trace, TraceRecord
@@ -50,6 +51,7 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Resource",
+    "STREAM_NAMES",
     "SimulationError",
     "Simulator",
     "Store",
@@ -64,4 +66,6 @@ __all__ = [
     "URGENT",
     "ascii_series",
     "ascii_sparkline",
+    "crc32_key",
+    "stream_collisions",
 ]

@@ -174,6 +174,82 @@ def test_engine_internals_flagged(tmp_path):
     assert len(diags) == 1 and "_queue" in diags[0].message
 
 
+# -- ordering -------------------------------------------------------------
+
+def test_set_iteration_flagged(tmp_path):
+    code = ('"""D."""\ndef f(xs):\n'
+            '    s = {x for x in xs}\n'
+            '    for x in s:\n'
+            '        use(x)\n')
+    diags = _lint(tmp_path, "core/x.py", code, rule="order-set-iter")
+    assert [d.line for d in diags] == [4]
+
+
+def test_set_iteration_sorted_is_clean(tmp_path):
+    code = ('"""D."""\ndef f(xs):\n'
+            '    s = set(xs)\n'
+            '    for x in sorted(s):\n'
+            '        use(x)\n')
+    assert _lint(tmp_path, "core/x.py", code, rule="order-set-iter") == []
+
+
+def test_set_taint_cleared_by_rebinding(tmp_path):
+    code = ('"""D."""\ndef f(xs):\n'
+            '    s = frozenset(xs)\n'
+            '    s = sorted(s)\n'
+            '    return list(s)\n')
+    assert _lint(tmp_path, "sim/x.py", code, rule="order-set-iter") == []
+
+
+def test_set_materialisers_and_join_flagged(tmp_path):
+    code = ('"""D."""\ndef f(xs):\n'
+            '    return list({1, 2} | set(xs))\n')
+    assert len(_lint(tmp_path, "cache/x.py", code,
+                     rule="order-set-iter")) == 1
+    code = ('"""D."""\ndef f(names: set):\n'
+            '    return ",".join(names)\n')
+    assert len(_lint(tmp_path, "cache/x.py", code,
+                     rule="order-set-iter")) == 1
+
+
+def test_set_order_independent_consumers_allowed(tmp_path):
+    code = ('"""D."""\ndef f(xs):\n'
+            '    s = set(xs)\n'
+            '    return len(s), min(s), max(s), any(s), sorted(s)\n')
+    assert _lint(tmp_path, "sim/x.py", code, rule="order-set-iter") == []
+
+
+def test_env_read_flagged_in_det_layers_only(tmp_path):
+    code = ('"""D."""\nimport os\n\n'
+            'def f():\n    return os.environ["HOME"], os.getenv("X")\n')
+    diags = _lint(tmp_path, "sim/x.py", code, rule="order-env-read")
+    assert len(diags) == 2
+    # experiments drive the host-facing side and may read the env
+    assert _lint(tmp_path, "experiments/x.py", code,
+                 rule="order-env-read") == []
+
+
+def test_locale_read_flagged(tmp_path):
+    code = ('"""D."""\nimport locale\n\n'
+            'def f():\n    return locale.getlocale()\n')
+    assert len(_lint(tmp_path, "web/x.py", code,
+                     rule="order-env-read")) == 1
+
+
+def test_multiprocessing_outside_shard_flagged(tmp_path):
+    code = '"""D."""\nimport multiprocessing\n'
+    diags = _lint(tmp_path, "workload/x.py", code, rule="order-mp-merge")
+    assert len(diags) == 1 and "shard.py" in diags[0].message
+    # the canonical merge file itself may import it...
+    assert _lint(tmp_path, "experiments/shard.py", code,
+                 rule="order-mp-merge") == []
+    # ...but completion-order primitives are banned even there
+    code = ('"""D."""\ndef f(pool, work):\n'
+            '    return list(pool.imap_unordered(run, work))\n')
+    assert len(_lint(tmp_path, "experiments/shard.py", code,
+                     rule="order-mp-merge")) == 1
+
+
 # -- docstrings -----------------------------------------------------------
 
 def test_docstring_rules_flag_bare_module_and_class(tmp_path):
