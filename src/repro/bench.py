@@ -32,7 +32,10 @@ Tier phases (``--scale {S,M,L,XL}``, see :data:`TIERS` and
   (:func:`repro.experiments.run_grid`) including the snapshot merge;
 * ``sched_tournament@T`` — the X11 policy × cluster × popularity grid
   (every fluid decision kernel, homogeneous and heterogeneous), the
-  stress test for the per-policy stepper dispatch.
+  stress test for the per-policy stepper dispatch;
+* ``fuzz_smoke@T``    — a seeded ``repro.fuzz`` campaign (generator →
+  executor → oracle over whole random deployments), rated in cases/s —
+  tracks the cost of the tier-1 fuzz gate.
 
 ``run_bench(profile=True)`` additionally runs each phase under
 :mod:`cProfile` and reports the hottest functions plus a per-subsystem
@@ -69,13 +72,17 @@ SCHEMA = "sweb-bench/1"
 #: directly (grid = stream + shard/merge overhead).
 TIERS: dict[str, dict[str, int]] = {
     "S": {"fluid_requests": 100_000, "grid_cells": 4,
-          "grid_requests": 25_000, "tournament_requests": 10_000},
+          "grid_requests": 25_000, "tournament_requests": 10_000,
+          "fuzz_cases": 10},
     "M": {"fluid_requests": 400_000, "grid_cells": 4,
-          "grid_requests": 100_000, "tournament_requests": 40_000},
+          "grid_requests": 100_000, "tournament_requests": 40_000,
+          "fuzz_cases": 20},
     "L": {"fluid_requests": 1_000_000, "grid_cells": 4,
-          "grid_requests": 250_000, "tournament_requests": 100_000},
+          "grid_requests": 250_000, "tournament_requests": 100_000,
+          "fuzz_cases": 40},
     "XL": {"fluid_requests": 4_000_000, "grid_cells": 8,
-           "grid_requests": 500_000, "tournament_requests": 250_000},
+           "grid_requests": 500_000, "tournament_requests": 250_000,
+           "fuzz_cases": 80},
 }
 
 #: offered rate for the tier phases: ~70 % utilisation of the default
@@ -299,6 +306,21 @@ def _make_sched_tournament(tier: str) -> Callable[[float],
     return body
 
 
+def _make_fuzz_smoke(tier: str) -> Callable[[float],
+                                            tuple[int, str, dict[str, Any]]]:
+    def body(scale: float) -> tuple[int, str, dict[str, Any]]:
+        from .fuzz import SMOKE_PROFILE, run_fuzz
+
+        n = max(1, int(TIERS[tier]["fuzz_cases"] * scale))
+        report = run_fuzz(root_seed=7, n_cases=n, profile=SMOKE_PROFILE,
+                          shrink_failures=False)
+        return n, "cases", {
+            "tier": tier,
+            "failures": len(report.failures),
+        }
+    return body
+
+
 #: Tier-tagged phases, run only under ``--scale {S,M,L,XL}``.  The ``@``
 #: suffix marks them optional to ``scripts/bench_compare.py``: a tier
 #: phase present in the baseline but absent from the new file is noted,
@@ -308,6 +330,7 @@ for _tier in TIERS:
     TIER_PHASES[f"fluid_stream@{_tier}"] = _make_fluid_stream(_tier)
     TIER_PHASES[f"shard_grid@{_tier}"] = _make_shard_grid(_tier)
     TIER_PHASES[f"sched_tournament@{_tier}"] = _make_sched_tournament(_tier)
+    TIER_PHASES[f"fuzz_smoke@{_tier}"] = _make_fuzz_smoke(_tier)
 
 
 def parse_scale(value: Any) -> tuple[float, Optional[str]]:
@@ -433,7 +456,7 @@ def run_bench(repeats: int = 3, scale: float = 1.0, profile: bool = False,
         names = list(PHASES)
         if tier is not None:
             names += [f"fluid_stream@{tier}", f"shard_grid@{tier}",
-                      f"sched_tournament@{tier}"]
+                      f"sched_tournament@{tier}", f"fuzz_smoke@{tier}"]
     known = set(PHASES) | set(TIER_PHASES)
     unknown = [p for p in names if p not in known]
     if unknown:

@@ -10,7 +10,10 @@ Subcommands:
   (see ``docs/PERFORMANCE.md``; ``--profile`` adds a cProfile breakdown);
 * ``trace`` — run a seeded scenario with per-request tracing on and emit
   a Chrome ``trace_event`` JSON plus a text flamegraph
-  (see ``docs/TRACING.md``).
+  (see ``docs/TRACING.md``);
+* ``fuzz`` — run the scenario fuzzer (seeded random configurations
+  checked against cross-cutting invariants; failures are shrunk to
+  minimal replayable artifacts — see ``docs/FUZZING.md``).
 """
 
 from __future__ import annotations
@@ -173,6 +176,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload window in simulated seconds")
     trace.add_argument("--flame", action="store_true",
                        help="also print the text flamegraph rollup")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="run the scenario fuzzer: random end-to-end configs "
+                     "checked against cross-cutting invariants "
+                     "(docs/FUZZING.md)")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="the fixed tier-1 campaign (seed 7, 20 cases, "
+                           "smoke profile) regardless of other flags")
+    fuzz.add_argument("--seed", type=int, default=7,
+                      help="root seed; every case derives from it "
+                           "deterministically")
+    fuzz.add_argument("--cases", type=_positive_int, default=20,
+                      metavar="N", help="number of cases to generate")
+    fuzz.add_argument("--profile", choices=["smoke", "full"],
+                      default="smoke",
+                      help="case-size profile (full draws bigger "
+                           "clusters and longer workloads)")
+    fuzz.add_argument("--replay", metavar="PATH", default=None,
+                      help="re-run one saved case artifact instead of a "
+                           "campaign")
+    fuzz.add_argument("-o", "--out", default="fuzz-case.json",
+                      help="where to write the shrunk artifact of the "
+                           "first failing case ('' to skip writing)")
 
     report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md (all artifacts)")
@@ -426,6 +452,48 @@ def _cmd_config_template() -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .fuzz import (
+        case_artifact,
+        config_from_artifact,
+        profile_by_name,
+        replay_case,
+        run_fuzz,
+    )
+
+    if args.replay is not None:
+        with open(args.replay) as handle:
+            config = config_from_artifact(json.load(handle))
+        report = replay_case(config)
+        print(report.summary_line())
+        for violation in report.violations:
+            print(f"  {violation}")
+        return 0 if report.ok else 1
+
+    seed = 7 if args.smoke else args.seed
+    n_cases = 20 if args.smoke else args.cases
+    profile = profile_by_name("smoke" if args.smoke else args.profile)
+    started = time.perf_counter()
+    campaign = run_fuzz(root_seed=seed, n_cases=n_cases, profile=profile)
+    for line in campaign.summary_lines():
+        print(line)
+    print(f"wall time: {time.perf_counter() - started:.1f}s")
+    if campaign.ok:
+        return 0
+    first = campaign.failures[0]
+    for violation in first.violations:
+        print(f"  {violation}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(case_artifact(first), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote minimized case to {args.out} "
+              f"(replay: sweb-repro fuzz --replay {args.out})")
+    return 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -452,6 +520,8 @@ def main(argv=None) -> int:
         return _cmd_replay(args)
     if args.command == "config-template":
         return _cmd_config_template()
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "lint":
         from .lint.runner import run_cli
         return run_cli(paths=args.paths, types=args.types,

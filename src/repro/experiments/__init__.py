@@ -27,6 +27,7 @@ X8    extension — burst/queue dynamics               dynamics
 X9    extension — faults & graceful degradation      faults
 X10   extension — cooperative cache & replication    cache_coop
 X11   extension — scheduler tournament (het zoo)     tournament
+X12   extension — adversarial clients vs mitigations adversaries
 ====  =============================================  =================
 """
 
@@ -34,6 +35,7 @@ from . import (
     ablation_cost_terms,
     ablation_loadd,
     adaptive,
+    adversaries,
     analysis_vs_sim,
     cache_coop,
     centralized,
@@ -66,6 +68,7 @@ from .shard import (
     make_fluid_grid,
     run_cell,
     run_grid,
+    scenario_record_lines,
 )
 from .tables import ComparisonRow, render_comparison, render_table
 
@@ -93,6 +96,7 @@ ALL_EXPERIMENTS = {
     "X9": faults,
     "X10": cache_coop,
     "X11": tournament,
+    "X12": adversaries,
 }
 
 
@@ -126,5 +130,6 @@ __all__ = [
     "run_experiment",
     "run_grid",
     "run_scenario",
+    "scenario_record_lines",
     "validate_result",
 ]

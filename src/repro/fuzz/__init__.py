@@ -1,0 +1,69 @@
+"""Scenario fuzzing: randomized end-to-end configurations, checked
+against cross-cutting invariants, minimized when they fail.
+
+Eight PRs of subsystems — scheduling, caching, faults, tracing, fluid
+scale — each carry their own tests, but every tested configuration was
+one somebody thought of.  This layer closes the gap (the ROADMAP's
+"scenario fuzzer + adversarial clients" item): a **generator** draws
+whole deployments from seeded :class:`~repro.sim.rng.RandomStreams`
+substreams, an **executor** runs them through the real per-client and
+fluid/shard paths, an **oracle** checks the invariants no single
+subsystem owns (determinism across runs and worker counts, cache byte
+conservation, trace reconciliation, no starved requests), and a
+**shrinker** delta-debugs any failure into a minimal case replayable
+with ``sweb-repro fuzz --replay``.
+
+Sits at the top of the layer DAG (see docs/ARCHITECTURE.md); the
+adversarial client actors it exercises live in
+:mod:`repro.workload.adversaries`.  Handbook: docs/FUZZING.md.
+"""
+
+from .executor import CaseOutcome, build_fluid_scenario, build_scenario, run_case
+from .generator import (
+    FULL_PROFILE,
+    FUZZ_FORMAT,
+    FuzzConfig,
+    FuzzProfile,
+    SMOKE_PROFILE,
+    case_seed,
+    generate_config,
+    profile_by_name,
+)
+from .harness import (
+    CaseReport,
+    FuzzReport,
+    case_artifact,
+    config_from_artifact,
+    replay_case,
+    run_fuzz,
+)
+from .oracle import INVARIANTS, Violation, check_outcome, failure_key
+from .shrinker import config_size, shrink, shrink_candidates
+
+__all__ = [
+    "CaseOutcome",
+    "CaseReport",
+    "FULL_PROFILE",
+    "FUZZ_FORMAT",
+    "FuzzConfig",
+    "FuzzProfile",
+    "FuzzReport",
+    "INVARIANTS",
+    "SMOKE_PROFILE",
+    "Violation",
+    "build_fluid_scenario",
+    "build_scenario",
+    "case_artifact",
+    "case_seed",
+    "check_outcome",
+    "config_from_artifact",
+    "config_size",
+    "failure_key",
+    "generate_config",
+    "profile_by_name",
+    "replay_case",
+    "run_case",
+    "run_fuzz",
+    "shrink",
+    "shrink_candidates",
+]

@@ -1,0 +1,155 @@
+"""The fuzz campaign driver: generate → execute → judge → shrink.
+
+:func:`run_fuzz` runs ``n_cases`` seeded configurations through the
+executor and oracle; any failure is greedily minimized by the shrinker
+(re-running the executor at every probe) into a replayable artifact.
+:func:`replay_case` re-runs one saved case — the other half of the
+``sweb-repro fuzz --out case.json`` / ``fuzz --replay case.json``
+workflow.
+
+The executor is injected everywhere (``runner=``) so tests can break
+invariants deliberately and watch the oracle catch and the shrinker
+minimize them, without monkeypatching module internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from . import executor as _executor
+from .executor import CaseOutcome
+from .generator import (
+    FUZZ_FORMAT,
+    FuzzConfig,
+    FuzzProfile,
+    SMOKE_PROFILE,
+    generate_config,
+)
+from .oracle import Violation, check_outcome, failure_key
+from .shrinker import shrink
+
+__all__ = [
+    "CaseReport",
+    "FuzzReport",
+    "case_artifact",
+    "config_from_artifact",
+    "replay_case",
+    "run_fuzz",
+]
+
+CaseRunner = Callable[[FuzzConfig], CaseOutcome]
+
+
+@dataclass(frozen=True)
+class CaseReport:
+    """One case's verdict (plus its minimized form when it failed)."""
+
+    config: FuzzConfig
+    violations: tuple[Violation, ...] = ()
+    shrunk: Optional[FuzzConfig] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def key(self) -> Optional[str]:
+        return failure_key(self.violations)
+
+    def summary_line(self) -> str:
+        config = self.config
+        shape = (f"{config.mode}/{config.policy} n{config.nodes}"
+                 f"{'het' if config.heterogeneous else ''}")
+        extras = [x for x in (config.adversary,
+                              "faults" if config.faults else None) if x]
+        tag = f" +{'+'.join(extras)}" if extras else ""
+        verdict = "ok" if self.ok else f"FAIL {self.key}"
+        return f"{config.case_id}  {shape}{tag}  {verdict}"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    root_seed: int
+    profile: str
+    cases: list[CaseReport] = field(default_factory=list)
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.cases)
+
+    @property
+    def failures(self) -> list[CaseReport]:
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary_lines(self) -> list[str]:
+        lines = [c.summary_line() for c in self.cases]
+        lines.append(
+            f"fuzz seed={self.root_seed} profile={self.profile}: "
+            f"{self.n_cases - len(self.failures)}/{self.n_cases} cases green")
+        return lines
+
+
+def _probe(runner: CaseRunner) -> Callable[[FuzzConfig], Optional[str]]:
+    """Wrap the executor+oracle into the shrinker's failure predicate."""
+    def probe(config: FuzzConfig) -> Optional[str]:
+        return failure_key(check_outcome(runner(config)))
+    return probe
+
+
+def run_fuzz(root_seed: int = 7, n_cases: int = 20,
+             profile: FuzzProfile = SMOKE_PROFILE,
+             shrink_failures: bool = True,
+             runner: Optional[CaseRunner] = None) -> FuzzReport:
+    """Run a seeded campaign; failures come back shrunk and replayable."""
+    if n_cases < 1:
+        raise ValueError(f"n_cases must be >= 1, got {n_cases}")
+    run = runner if runner is not None else _executor.run_case
+    report = FuzzReport(root_seed=root_seed, profile=profile.name)
+    for index in range(n_cases):
+        config = generate_config(root_seed, index, profile)
+        violations = check_outcome(run(config))
+        shrunk: Optional[FuzzConfig] = None
+        if violations and shrink_failures:
+            shrunk, _ = shrink(config, _probe(run),
+                               key=failure_key(violations))
+        report.cases.append(CaseReport(config=config, violations=violations,
+                                       shrunk=shrunk))
+    return report
+
+
+def replay_case(config: FuzzConfig,
+                runner: Optional[CaseRunner] = None) -> CaseReport:
+    """Re-run one saved case (no shrinking — it is already minimal)."""
+    run = runner if runner is not None else _executor.run_case
+    return CaseReport(config=config, violations=check_outcome(run(config)))
+
+
+def case_artifact(report: CaseReport) -> dict[str, Any]:
+    """The JSON-ready replay artifact for one failing case."""
+    failing = report.shrunk if report.shrunk is not None else report.config
+    return {
+        "format": FUZZ_FORMAT,
+        "invariant": report.key,
+        "violations": [str(v) for v in report.violations],
+        "case": failing.to_dict(),
+        "original_case": report.config.to_dict(),
+    }
+
+
+def config_from_artifact(data: dict[str, Any]) -> FuzzConfig:
+    """Load the (shrunk) case out of a replay artifact or bare config."""
+    if "case" in data:
+        payload = data["case"]
+        if data.get("format", FUZZ_FORMAT) != FUZZ_FORMAT:
+            raise ValueError(
+                f"unsupported fuzz artifact format {data.get('format')!r}")
+    else:
+        payload = data
+    return FuzzConfig.from_dict(payload)

@@ -1,0 +1,156 @@
+"""Cross-cutting invariants every fuzzed run must satisfy.
+
+The oracle is pure: it looks only at the :class:`~repro.fuzz.executor.
+CaseOutcome` evidence and returns :class:`Violation` records.  Each
+invariant is a named check so a failure carries a stable key the
+shrinker can hold fixed while minimizing:
+
+* ``determinism`` — the same config fingerprints identically on every
+  independent run (the repo's core guarantee);
+* ``shard-merge`` — a grid folded through a 2-worker pool is
+  bit-identical (grid fingerprint *and* merged registry snapshot) to
+  the serial fold;
+* ``starvation`` — every offered request reaches a terminal record;
+  nothing is silently lost between workload and metrics;
+* ``conservation`` — terminal states partition the settled set
+  (completed + dropped never exceeds it; on the fluid path every
+  processed request is served by exactly one node);
+* ``cache-bytes`` — every page cache's used bytes equal the sum of its
+  resident entries and never exceed capacity, and its hit/miss/eviction
+  counters are sane;
+* ``trace`` — every sampled trace is structurally well-formed and its
+  stage breakdown reconciles with the record's measured latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .executor import CaseOutcome
+
+__all__ = ["INVARIANTS", "Violation", "check_outcome", "failure_key"]
+
+#: the invariant keys, in the order they are checked
+INVARIANTS: tuple[str, ...] = (
+    "determinism", "shard-merge", "starvation", "conservation",
+    "cache-bytes", "trace",
+)
+
+_BYTE_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough detail to read the failure."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+def _check_determinism(outcome: CaseOutcome) -> list[Violation]:
+    out = []
+    if len(set(outcome.fingerprints)) > 1:
+        out.append(Violation(
+            "determinism",
+            f"independent runs fingerprint differently: "
+            f"{outcome.fingerprints}"))
+    return out
+
+
+def _check_shard_merge(outcome: CaseOutcome) -> list[Violation]:
+    out = []
+    if (outcome.grid_fingerprints
+            and len(set(outcome.grid_fingerprints)) > 1):
+        out.append(Violation(
+            "shard-merge",
+            f"grid fingerprint differs between workers=1 and workers=2: "
+            f"{outcome.grid_fingerprints}"))
+    if (outcome.merged_snapshots
+            and len(set(outcome.merged_snapshots)) > 1):
+        out.append(Violation(
+            "shard-merge",
+            "merged registry snapshot differs between workers=1 and "
+            "workers=2"))
+    return out
+
+
+def _check_starvation(outcome: CaseOutcome) -> list[Violation]:
+    out = []
+    if outcome.settled != outcome.offered:
+        out.append(Violation(
+            "starvation",
+            f"{outcome.offered} requests offered but only "
+            f"{outcome.settled} reached a terminal record"))
+    return out
+
+
+def _check_conservation(outcome: CaseOutcome) -> list[Violation]:
+    out = []
+    if outcome.completed + outcome.dropped > outcome.settled:
+        out.append(Violation(
+            "conservation",
+            f"completed ({outcome.completed}) + dropped "
+            f"({outcome.dropped}) exceeds settled ({outcome.settled})"))
+    if outcome.config.mode == "fluid" and outcome.completed != outcome.settled:
+        out.append(Violation(
+            "conservation",
+            f"fluid per-node served counts sum to {outcome.completed}, "
+            f"expected {outcome.settled}"))
+    return out
+
+
+def _check_cache_bytes(outcome: CaseOutcome) -> list[Violation]:
+    out = []
+    for account in outcome.caches:
+        node = int(account["node"])
+        used = account["used_bytes"]
+        capacity = account["capacity_bytes"]
+        entries = account["entry_bytes"]
+        if used > capacity + _BYTE_EPS:
+            out.append(Violation(
+                "cache-bytes",
+                f"node {node}: cache holds {used} bytes over its "
+                f"{capacity}-byte capacity"))
+        if abs(used - entries) > _BYTE_EPS:
+            out.append(Violation(
+                "cache-bytes",
+                f"node {node}: used_bytes {used} disagrees with resident "
+                f"entries' {entries}"))
+        for counter in ("hits", "misses", "evictions"):
+            if account[counter] < 0:
+                out.append(Violation(
+                    "cache-bytes",
+                    f"node {node}: negative {counter} count "
+                    f"{account[counter]}"))
+    return out
+
+
+def _check_trace(outcome: CaseOutcome) -> list[Violation]:
+    return [Violation("trace", failure)
+            for failure in outcome.trace_failures]
+
+
+_CHECKS = {
+    "determinism": _check_determinism,
+    "shard-merge": _check_shard_merge,
+    "starvation": _check_starvation,
+    "conservation": _check_conservation,
+    "cache-bytes": _check_cache_bytes,
+    "trace": _check_trace,
+}
+
+
+def check_outcome(outcome: CaseOutcome) -> tuple[Violation, ...]:
+    """Every violated invariant, in canonical order (empty = green)."""
+    violations: list[Violation] = []
+    for key in INVARIANTS:
+        violations.extend(_CHECKS[key](outcome))
+    return tuple(violations)
+
+
+def failure_key(violations: tuple[Violation, ...]) -> str | None:
+    """The stable identity of a failure: its first broken invariant."""
+    return violations[0].invariant if violations else None

@@ -1,0 +1,126 @@
+"""Greedy delta-debugging over :class:`FuzzConfig`.
+
+Given a failing config and a predicate that re-runs it and reports
+*which* invariant broke, the shrinker repeatedly tries simplifying
+edits — drop a fault clause, neutralize the adversary, flatten the
+topology, halve the load — and keeps any edit under which the **same**
+invariant still fails.  Every accepted edit strictly decreases the
+config's size measure, so shrinking terminates and is idempotent:
+re-shrinking a minimum changes nothing.
+
+The predicate is injected (any ``FuzzConfig -> Optional[str]``), which
+keeps the algorithm cheap to property-test without running simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Optional
+
+from .generator import FuzzConfig
+
+__all__ = ["config_size", "shrink", "shrink_candidates"]
+
+#: an edit predicate: run the config, return the broken invariant's key
+#: (``None`` = the config passes)
+FailureProbe = Callable[[FuzzConfig], Optional[str]]
+
+
+def config_size(config: FuzzConfig) -> float:
+    """A strictly-decreasing measure over every shrink edit."""
+    faults = len(config.faults.split(",")) if config.faults else 0
+    flags = sum((config.heterogeneous, config.graceful, config.coop_cache,
+                 config.replicate, config.adversary is not None,
+                 config.alpha is not None, config.dns_ttl > 0))
+    load = (math.log2(max(2, config.n_requests))
+            + math.log2(max(2, config.rps + 1))
+            + math.log2(max(2.0, config.duration))
+            + math.log2(max(2, config.n_files + 1))
+            + math.log2(max(2.0, config.rate + 2.0)))
+    return (10.0 * faults + 5.0 * flags + config.nodes
+            + config.hosts_per_profile + load)
+
+
+def shrink_candidates(config: FuzzConfig) -> Iterator[FuzzConfig]:
+    """Candidate simplifications, most aggressive first.
+
+    Every yielded config differs from ``config`` and has a strictly
+    smaller :func:`config_size`; invalid candidates (e.g. a fault clause
+    naming a node the shrunken topology no longer has) are filtered by
+    the caller through ``validate()``.
+    """
+    if config.faults:
+        clauses = config.faults.split(",")
+        if len(clauses) > 1:
+            for i in range(len(clauses)):
+                rest = ",".join(clauses[:i] + clauses[i + 1:])
+                yield config.simplified(faults=rest)
+        yield config.simplified(faults=None)
+    if config.adversary is not None:
+        yield config.simplified(adversary=None)
+    if config.heterogeneous:
+        yield config.simplified(heterogeneous=False)
+    if config.replicate:
+        yield config.simplified(replicate=False)
+    if config.coop_cache and not config.replicate:
+        yield config.simplified(coop_cache=False)
+    if config.graceful:
+        yield config.simplified(graceful=False)
+    if config.alpha is not None:
+        yield config.simplified(alpha=None)
+    if config.dns_ttl > 0:
+        yield config.simplified(dns_ttl=0.0)
+    if config.hosts_per_profile > 1:
+        yield config.simplified(hosts_per_profile=1)
+    if config.mode == "fluid":
+        if config.n_requests > 1_000:
+            yield config.simplified(
+                n_requests=max(1_000, config.n_requests // 2))
+        if config.rate > 200.0:
+            yield config.simplified(rate=max(200.0, round(config.rate / 2, 1)))
+    else:
+        if config.rps > 1:
+            yield config.simplified(rps=max(1, config.rps // 2))
+        if config.duration > 2.0:
+            yield config.simplified(
+                duration=max(2.0, round(config.duration / 2, 1)))
+        if config.n_files > 8:
+            yield config.simplified(n_files=max(8, config.n_files // 2))
+    if config.nodes > 2:
+        yield config.simplified(nodes=config.nodes - 1)
+
+
+def shrink(config: FuzzConfig, probe: FailureProbe,
+           key: Optional[str] = None,
+           max_probes: int = 200) -> tuple[FuzzConfig, str]:
+    """Minimize ``config`` while ``probe`` keeps reporting ``key``.
+
+    ``key`` defaults to whatever ``probe(config)`` reports; raises
+    ``ValueError`` if the starting config does not fail at all.
+    Returns the minimized config and the preserved failure key.
+    ``max_probes`` bounds the total number of predicate evaluations
+    (each one may be a full simulation).
+    """
+    if key is None:
+        key = probe(config)
+    if key is None:
+        raise ValueError(f"{config.case_id}: config does not fail, "
+                         f"nothing to shrink")
+    probes = 0
+    current = config
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        for candidate in shrink_candidates(current):
+            try:
+                candidate.validate()
+            except ValueError:
+                continue
+            probes += 1
+            if probe(candidate) == key:
+                current = candidate
+                improved = True
+                break
+            if probes >= max_probes:
+                break
+    return current, key

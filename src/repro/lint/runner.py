@@ -27,7 +27,7 @@ __all__ = ["run_cli", "run_types_pass"]
 
 #: trees the strict mypy pass covers (mirrors [tool.mypy] in pyproject.toml)
 MYPY_TARGETS = ("src/repro/sim", "src/repro/core", "src/repro/obs",
-                "src/repro/sched", "src/repro/lint")
+                "src/repro/sched", "src/repro/lint", "src/repro/fuzz")
 
 
 def run_types_pass() -> int:

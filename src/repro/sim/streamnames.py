@@ -52,6 +52,16 @@ STREAM_NAMES: dict[str, str] = {
     "po2-policy": "two-candidate sampling for power-of-two-choices",
     # experiments/striping.py — stripe-read burst driver
     "pick": "which striped file each burst request fetches",
+    # workload/adversaries.py — hostile client actors
+    "adv-hotspot": "target picks and burst jitter for the hotspot flood",
+    "adv-cachebust": "corpus-permutation walk for the cache-busting churn",
+    "adv-slowdrip": "arrival jitter and path picks for slow-drip clients",
+    "adv-dnsskew": "arrival jitter for the DNS-cache skew flood",
+    # fuzz/generator.py — randomized end-to-end configuration draws
+    "fuzz-shape": "topology draws: mode, node count, het/hom, policy",
+    "fuzz-workload": "workload draws: rates, sizes, skew, adversary",
+    "fuzz-faults": "fault-plan draws: clause count, kinds, windows",
+    "fuzz-knobs": "cache/broker/mitigation knob draws",
 }
 
 

@@ -7,6 +7,16 @@ Poisson/Zipf arrival stream through array-backed records so a single
 process reaches 10^6+ requests in seconds.  See ``docs/SCALING.md``.
 """
 
+from .adversaries import (
+    ADVERSARIES,
+    AdversaryInfo,
+    BACKGROUND_CLIENT,
+    CHURN_CLIENT,
+    FLOOD_CLIENT,
+    SLOWDRIP_CLIENT,
+    adversary_names,
+    make_adversary,
+)
 from .corpus import (
     CGISpec,
     bimodal_corpus,
@@ -54,7 +64,15 @@ from .generators import (
 )
 
 __all__ = [
+    "ADVERSARIES",
+    "AdversaryInfo",
     "Arrival",
+    "BACKGROUND_CLIENT",
+    "CHURN_CLIENT",
+    "FLOOD_CLIENT",
+    "SLOWDRIP_CLIENT",
+    "adversary_names",
+    "make_adversary",
     "bimodal_corpus",
     "CGISpec",
     "CLFEntry",

@@ -40,6 +40,16 @@ def test_crc32_key_matches_randomstreams_derivation():
         assert crc32_key(name) == zlib.crc32(name.encode("utf-8"))
 
 
+def test_adversary_and_fuzz_streams_are_registered():
+    # the fuzz layer (generator draws) and the adversarial actors each
+    # own audited substreams; pin their presence so a rename cannot
+    # silently decouple the code from the registry
+    expected = {"adv-hotspot", "adv-cachebust", "adv-slowdrip",
+                "adv-dnsskew", "fuzz-shape", "fuzz-workload",
+                "fuzz-faults", "fuzz-knobs"}
+    assert expected <= set(STREAM_NAMES)
+
+
 def test_distinct_registered_names_yield_distinct_streams():
     rng = RandomStreams(seed=7)
     draws = {name: rng.stream(name).random() for name in registered_names()}
