@@ -41,6 +41,10 @@ PHASE_THRESHOLDS: dict[str, float] = {
     # some run 2x grid merges), so the cases/s rate mixes heterogeneous
     # work and deserves the looser budget too
     "fuzz_smoke": 0.20,
+    # the geo phase interleaves three clusters, the placement daemon and
+    # WAN transfers in one sim, so its requests/s mixes local hits with
+    # multi-hop misses and is noisier than single-cluster phases
+    "geo_cdn": 0.20,
 }
 
 #: Schema tag all BENCH files must carry (see ``repro.bench.SCHEMA``).

@@ -35,7 +35,10 @@ Tier phases (``--scale {S,M,L,XL}``, see :data:`TIERS` and
   stress test for the per-policy stepper dispatch;
 * ``fuzz_smoke@T``    — a seeded ``repro.fuzz`` campaign (generator →
   executor → oracle over whole random deployments), rated in cases/s —
-  tracks the cost of the tier-1 fuzz gate.
+  tracks the cost of the tier-1 fuzz gate;
+* ``geo_cdn@T``       — the three-site geo tier end to end (WAN reads,
+  placement daemon, geo-affinity DNS; docs/GEO.md), rated in requests/s
+  — the multi-cluster analogue of ``end_to_end``.
 
 ``run_bench(profile=True)`` additionally runs each phase under
 :mod:`cProfile` and reports the hottest functions plus a per-subsystem
@@ -73,16 +76,16 @@ SCHEMA = "sweb-bench/1"
 TIERS: dict[str, dict[str, int]] = {
     "S": {"fluid_requests": 100_000, "grid_cells": 4,
           "grid_requests": 25_000, "tournament_requests": 10_000,
-          "fuzz_cases": 10},
+          "fuzz_cases": 10, "geo_requests": 600},
     "M": {"fluid_requests": 400_000, "grid_cells": 4,
           "grid_requests": 100_000, "tournament_requests": 40_000,
-          "fuzz_cases": 20},
+          "fuzz_cases": 20, "geo_requests": 1_200},
     "L": {"fluid_requests": 1_000_000, "grid_cells": 4,
           "grid_requests": 250_000, "tournament_requests": 100_000,
-          "fuzz_cases": 40},
+          "fuzz_cases": 40, "geo_requests": 2_400},
     "XL": {"fluid_requests": 4_000_000, "grid_cells": 8,
            "grid_requests": 500_000, "tournament_requests": 250_000,
-           "fuzz_cases": 80},
+           "fuzz_cases": 80, "geo_requests": 4_800},
 }
 
 #: offered rate for the tier phases: ~70 % utilisation of the default
@@ -321,6 +324,25 @@ def _make_fuzz_smoke(tier: str) -> Callable[[float],
     return body
 
 
+def _make_geo_cdn(tier: str) -> Callable[[float],
+                                         tuple[int, str, dict[str, Any]]]:
+    def body(scale: float) -> tuple[int, str, dict[str, Any]]:
+        from .geo import GeoScenario, run_geo
+
+        n = max(1, int(TIERS[tier]["geo_requests"] * scale))
+        rps = 40.0
+        result = run_geo(GeoScenario(name=f"bench-geo-{tier}", rps=rps,
+                                     duration=n / rps, seed=1,
+                                     graceful=True))
+        return n, "requests", {
+            "tier": tier,
+            "edge_hit_rate": round(result.edge_hit_rate, 4),
+            "wan_reads": result.wan_reads,
+            "placements": result.placements,
+        }
+    return body
+
+
 #: Tier-tagged phases, run only under ``--scale {S,M,L,XL}``.  The ``@``
 #: suffix marks them optional to ``scripts/bench_compare.py``: a tier
 #: phase present in the baseline but absent from the new file is noted,
@@ -331,6 +353,7 @@ for _tier in TIERS:
     TIER_PHASES[f"shard_grid@{_tier}"] = _make_shard_grid(_tier)
     TIER_PHASES[f"sched_tournament@{_tier}"] = _make_sched_tournament(_tier)
     TIER_PHASES[f"fuzz_smoke@{_tier}"] = _make_fuzz_smoke(_tier)
+    TIER_PHASES[f"geo_cdn@{_tier}"] = _make_geo_cdn(_tier)
 
 
 def parse_scale(value: Any) -> tuple[float, Optional[str]]:
@@ -456,7 +479,8 @@ def run_bench(repeats: int = 3, scale: float = 1.0, profile: bool = False,
         names = list(PHASES)
         if tier is not None:
             names += [f"fluid_stream@{tier}", f"shard_grid@{tier}",
-                      f"sched_tournament@{tier}", f"fuzz_smoke@{tier}"]
+                      f"sched_tournament@{tier}", f"fuzz_smoke@{tier}",
+                      f"geo_cdn@{tier}"]
     known = set(PHASES) | set(TIER_PHASES)
     unknown = [p for p in names if p not in known]
     if unknown:

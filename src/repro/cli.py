@@ -64,10 +64,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="run an ad-hoc scenario")
     serve.add_argument("--testbed",
-                       choices=["meiko", "now", "hetmeiko", "hetnow"],
+                       choices=["meiko", "now", "hetmeiko", "hetnow",
+                                "geo3"],
                        default="meiko",
                        help="cluster preset; hetmeiko/hetnow are the "
-                            "heterogeneous variants (docs/SCHEDULING.md)")
+                            "heterogeneous variants (docs/SCHEDULING.md); "
+                            "geo3 is the three-site CDN topology and "
+                            "implies --geo (docs/GEO.md)")
+    serve.add_argument("--geo", action="store_true",
+                       help="multi-site mode: run the geo3 topology "
+                            "(origin + two WAN-linked edges) with "
+                            "geo-affinity DNS and the placement daemon "
+                            "(docs/GEO.md); --nodes is ignored")
+    serve.add_argument("--wan-latency", type=float, metavar="SECONDS",
+                       default=None,
+                       help="geo mode: origin<->west one-way WAN latency; "
+                            "the east link keeps the geo3 ratio "
+                            "(default 0.030)")
+    serve.add_argument("--geo-budget", type=float, metavar="MB",
+                       default=16.0,
+                       help="geo mode: per-edge replica RAM budget in MB "
+                            "(0 disables cross-site placement)")
+    serve.add_argument("--partition-site", metavar="SITE", default=None,
+                       help="geo mode: cut this site's POP off for the "
+                            "middle half of the run (with --graceful its "
+                            "population spills to the next-nearest site)")
     serve.add_argument("--nodes", type=int, default=6)
     serve.add_argument("--scheduler", "--policy", dest="policy",
                        choices=list(policy_names()), default="sweb",
@@ -245,6 +266,53 @@ def _cmd_all(full: bool) -> int:
     return 0
 
 
+def _cmd_serve_geo(args: argparse.Namespace) -> int:
+    """The multi-site branch of ``serve`` (docs/GEO.md)."""
+    from .geo import GeoScenario, geo3, run_geo
+
+    if args.faults:
+        print("--faults is the single-cluster fault grammar; in geo mode "
+              "use --partition-site (docs/GEO.md)", file=sys.stderr)
+        return 2
+    if args.trace_requests is not None or args.trace_out is not None:
+        print("request tracing is not wired through geo mode yet",
+              file=sys.stderr)
+        return 2
+    scale = (args.wan_latency / 30e-3) if args.wan_latency is not None else 1.0
+    if scale < 0:
+        print("--wan-latency must be >= 0", file=sys.stderr)
+        return 2
+    spec = geo3(west_latency=30e-3 * scale, east_latency=80e-3 * scale)
+    if (args.partition_site is not None
+            and args.partition_site not in spec.site_names):
+        print(f"unknown --partition-site {args.partition_site!r}; "
+              f"choose from {', '.join(spec.site_names)}", file=sys.stderr)
+        return 2
+    scenario = GeoScenario(
+        name="cli-geo", spec=spec,
+        n_files=args.files, file_bytes=args.file_size,
+        alpha=args.zipf if args.zipf is not None else 1.1,
+        rps=args.rps, duration=args.duration, seed=args.seed,
+        graceful=args.graceful,
+        edge_budget_bytes=args.geo_budget * 1e6,
+        partition_site=args.partition_site,
+        partition_window=(args.duration * 0.25, args.duration * 0.75))
+    result = run_geo(scenario)
+    print(result.summary_line())
+    for site in spec.site_names:
+        pop = result.population(site)
+        print(f"  {site}: offered {pop.offered} completed {pop.completed} "
+              f"dropped {pop.dropped} lost {pop.lost} "
+              f"spilled {pop.spilled} p95 {pop.p95:.3f}s")
+    print(f"edges: hit rate {result.edge_hit_rate:.1%}, "
+          f"wan reads {result.wan_reads}, "
+          f"wan bytes {result.wan_bytes / 1e6:.1f} MB, "
+          f"placements {result.placements}")
+    print(f"dns: load spills {result.spills}, partition spills "
+          f"{result.partition_spills}, unroutable {result.unroutable}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .cluster import (heterogeneous_meiko, heterogeneous_now, meiko_cs2,
                           sun_now)
@@ -255,6 +323,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .workload import (burst_workload, uniform_corpus, uniform_sampler,
                            zipf_sampler)
 
+    if args.geo or args.testbed == "geo3":
+        return _cmd_serve_geo(args)
+    if args.wan_latency is not None or args.partition_site is not None:
+        print("--wan-latency/--partition-site require --geo "
+              "(or --testbed geo3)", file=sys.stderr)
+        return 2
     if args.trace_out is not None and args.trace_requests is None:
         print("--trace-out requires --trace-requests", file=sys.stderr)
         return 2

@@ -35,12 +35,18 @@ class FileMeta:
     "retrieving files in parallel from inexpensive disks") lists every
     node holding a chunk, with ``home`` being the first of them (the
     node the locality heuristics treat as the owner).
+
+    ``wan`` marks a file whose authoritative copy lives in *another
+    cluster* behind a WAN link (the geo tier's origin): ``home`` is then
+    the local gateway node and a cache miss pays the link cost.  Always
+    False for single-cluster file systems.
     """
 
     path: str
     size: float
     home: int
     stripes: tuple[int, ...] = ()
+    wan: bool = False
 
     @property
     def is_striped(self) -> bool:

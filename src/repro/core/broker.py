@@ -130,9 +130,11 @@ class Broker:
         # (a) Where does the file live?
         file_home: Optional[int] = None
         file_size = 0.0
+        file_wan = False
         if self.fs.exists(path):
             meta = self.fs.locate(path)
             file_home, file_size = meta.home, meta.size
+            file_wan = meta.wan
         # (b) What does it demand?
         task = self.oracle.characterize(path, file_size)
         # (c) Price every available candidate.  The local node is priced
@@ -160,7 +162,8 @@ class Broker:
                 task, cand, home_snap, file_home,
                 local=self.node_id, client_latency=client_latency,
                 cached=(directory is not None and file_size > 0
-                        and directory.holds(cand.node, path, now)))
+                        and directory.holds(cand.node, path, now)),
+                wan=file_wan)
             for cand in candidates)
         if not estimates:
             # Nobody else is known: serve locally.

@@ -199,13 +199,21 @@ class CostModel:
 
     def __init__(self, params: Optional[CostParameters] = None,
                  net_bandwidth: float = 40e6,
-                 mem_bandwidth: float = 80e6) -> None:
+                 mem_bandwidth: float = 80e6,
+                 wan_bandwidth: Optional[float] = None,
+                 wan_latency: float = 0.0) -> None:
         self.params = params or CostParameters()
         #: peak bandwidth of the intra-cluster fabric (b_net in §3.2)
         self.net_bandwidth = float(net_bandwidth)
         #: memory-copy bandwidth used to price a directory-confirmed
         #: RAM-resident file (the cooperative-cache t_data fast path)
         self.mem_bandwidth = float(mem_bandwidth)
+        #: WAN uplink to the geo origin (docs/GEO.md); ``None`` for a
+        #: single-cluster deployment, where ``wan``-flagged files never
+        #: occur and t_data stays exactly the §3.2 formula
+        self.wan_bandwidth = float(wan_bandwidth) if wan_bandwidth else None
+        #: one-way WAN latency to the origin, added to a cache-miss fetch
+        self.wan_latency = float(wan_latency)
 
     # -- individual terms ---------------------------------------------------
     def t_redirection(self, candidate: int, local: int,
@@ -225,7 +233,7 @@ class CostModel:
 
     def t_data(self, est: TaskEstimate, candidate: LoadSnapshot,
                home: Optional[LoadSnapshot], file_home: Optional[int],
-               cached: bool = False) -> float:
+               cached: bool = False, wan: bool = False) -> float:
         """Disk (and, if remote, interconnect) time for the file bytes.
 
         ``cached`` means the cooperative-cache directory believes the
@@ -233,11 +241,18 @@ class CostModel:
         memory-copy bandwidth regardless of where the home disk is —
         LARD-style locality-aware pricing.  The ``use_cache_term``
         knockout restores the RAM-blind estimate for ablation.
+
+        ``wan`` means the authoritative copy sits across a WAN link (the
+        geo tier's origin): a non-cached fetch then pays the link latency
+        plus the bytes at WAN bandwidth — nothing the candidate's local
+        disk can speed up.  Ignored when no WAN is configured.
         """
         if not self.params.use_data_term or est.disk_bytes <= 0:
             return 0.0
         if cached and self.params.use_cache_term:
             return est.disk_bytes / self.mem_bandwidth
+        if wan and self.wan_bandwidth is not None:
+            return self.wan_latency + est.disk_bytes / self.wan_bandwidth
         if file_home is None:
             return 0.0
         if file_home == candidate.node:
@@ -279,12 +294,13 @@ class CostModel:
     def estimate(self, est: TaskEstimate, candidate: LoadSnapshot,
                  home: Optional[LoadSnapshot], file_home: Optional[int],
                  local: int, client_latency: float,
-                 cached: bool = False) -> CostEstimate:
+                 cached: bool = False, wan: bool = False) -> CostEstimate:
         """Predict the completion time if ``candidate`` serves the request."""
         return CostEstimate(
             node=candidate.node,
             t_redirection=self.t_redirection(candidate.node, local, client_latency),
-            t_data=self.t_data(est, candidate, home, file_home, cached=cached),
+            t_data=self.t_data(est, candidate, home, file_home, cached=cached,
+                               wan=wan),
             t_cpu=self.t_cpu(est, candidate, local=(candidate.node == local)),
             t_net=self.t_net(est),
         )

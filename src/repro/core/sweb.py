@@ -58,16 +58,23 @@ class SWEBCluster:
                  tracer: Optional[Tracer] = None,
                  registry: Optional[MetricsRegistry] = None,
                  start_loadd: bool = True,
-                 dispatcher: Optional[int] = None) -> None:
+                 dispatcher: Optional[int] = None,
+                 sim: Optional[Simulator] = None,
+                 built: Optional[BuiltCluster] = None) -> None:
         """``dispatcher`` enables the centralized design §3.1 *rejected*:
         every request enters through that one node, whose scheduler
         re-routes it.  "We did not take this approach mainly because …
         the single central distributor becomes a single point of failure"
-        — see experiment X7 for the quantified reasons."""
+        — see experiment X7 for the quantified reasons.
+
+        ``sim``/``built`` let a host (the geo tier) share one event loop
+        across several clusters and substitute a pre-built hardware
+        stack; by default the cluster owns a fresh Simulator and builds
+        its own hardware from ``spec``."""
         self.spec = spec or meiko_cs2()
         self.params = params or CostParameters()
         self.rng = RandomStreams(seed=seed)
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
         self.trace = trace
         #: per-request span tracer (docs/TRACING.md); observation-only,
         #: so attaching one never alters simulation results
@@ -80,7 +87,8 @@ class SWEBCluster:
         #: the BrowserSession model to discover inline images)
         self.page_markup: dict[str, str] = {}
 
-        built: BuiltCluster = self.spec.build(self.sim)
+        if built is None:
+            built = self.spec.build(self.sim)
         self.built = built
         self.nodes = built.nodes
         self.network = built.network

@@ -28,6 +28,7 @@ X9    extension — faults & graceful degradation      faults
 X10   extension — cooperative cache & replication    cache_coop
 X11   extension — scheduler tournament (het zoo)     tournament
 X12   extension — adversarial clients vs mitigations adversaries
+X13   extension — geo CDN: WAN latency x budget      geo_cdn
 ====  =============================================  =================
 """
 
@@ -46,6 +47,7 @@ from . import (
     figure2,
     figure3,
     forwarding,
+    geo_cdn,
     overhead,
     skewed,
     striping,
@@ -97,6 +99,7 @@ ALL_EXPERIMENTS = {
     "X10": cache_coop,
     "X11": tournament,
     "X12": adversaries,
+    "X13": geo_cdn,
 }
 
 

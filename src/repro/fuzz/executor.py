@@ -16,6 +16,8 @@ import json
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from dataclasses import replace
+
 from ..cluster.topology import heterogeneous_meiko, meiko_cs2
 from ..core import CostParameters
 from ..experiments import (
@@ -25,6 +27,7 @@ from ..experiments import (
     run_scenario,
     scenario_record_lines,
 )
+from ..geo import GeoResult, GeoScenario, GeoSpec, SiteSpec, WanLink, run_geo
 from ..obs import Tracer
 from ..sched import SpeedFactors
 from ..sim import RandomStreams
@@ -43,6 +46,8 @@ from .generator import FuzzConfig
 __all__ = [
     "CaseOutcome",
     "build_fluid_scenario",
+    "build_geo_scenario",
+    "build_geo_spec",
     "build_scenario",
     "case_speed_factors",
     "run_case",
@@ -93,6 +98,8 @@ class CaseOutcome:
     grid_fingerprints: tuple[str, ...] = ()
     #: canonical-JSON merged registry snapshots, workers=1 vs workers=2
     merged_snapshots: tuple[str, ...] = ()
+    #: per-edge geo replica accounting: resident bytes vs budget (geo path)
+    geo_budgets: tuple[dict[str, float], ...] = ()
 
 
 # -- builders (module-level, so grid cells pickle) -------------------------
@@ -156,10 +163,10 @@ def _scenario_fingerprint(result: ScenarioResult) -> str:
     return digest.hexdigest()
 
 
-def _cache_accounts(result: ScenarioResult) -> tuple[dict[str, float], ...]:
-    """Per-node page-cache byte accounting, read from the live caches."""
+def _node_cache_accounts(nodes) -> list[dict[str, float]]:
+    """Page-cache byte accounting for one node list, from the live caches."""
     accounts = []
-    for node in result.cluster.nodes:
+    for node in nodes:
         cache = node.cache
         accounts.append({
             "node": float(node.id),
@@ -170,7 +177,12 @@ def _cache_accounts(result: ScenarioResult) -> tuple[dict[str, float], ...]:
             "misses": float(cache.misses),
             "evictions": float(cache.evictions),
         })
-    return tuple(accounts)
+    return accounts
+
+
+def _cache_accounts(result: ScenarioResult) -> tuple[dict[str, float], ...]:
+    """Per-node page-cache byte accounting (per-client path)."""
+    return tuple(_node_cache_accounts(result.cluster.nodes))
 
 
 def _trace_failures(scenario: Scenario, result: ScenarioResult,
@@ -265,9 +277,92 @@ def _run_scenario_case(config: FuzzConfig) -> CaseOutcome:
     )
 
 
+def build_geo_spec(config: FuzzConfig) -> GeoSpec:
+    """The drawn multi-site topology: one origin plus 0..2 edges, each
+    edge behind its drawn WAN latency; the edge-to-edge path routes
+    through the origin (latency sum, half bandwidth)."""
+    sites = [SiteSpec("origin", replace(meiko_cs2(config.nodes),
+                                       name="origin"), weight=2.0)]
+    links = []
+    for i, latency in enumerate(config.geo_edge_latencies):
+        name = f"edge{i}"
+        sites.append(SiteSpec(name, replace(meiko_cs2(2), name=name),
+                              weight=1.0))
+        links.append(("origin", name,
+                      WanLink(latency=latency,
+                              bandwidth=config.geo_wan_bandwidth)))
+    if len(sites) == 3:
+        links.append(("edge0", "edge1",
+                      WanLink(latency=sum(config.geo_edge_latencies),
+                              bandwidth=config.geo_wan_bandwidth / 2)))
+    return GeoSpec(name=config.case_id, sites=tuple(sites),
+                   links=tuple(links), origin="origin")
+
+
+def build_geo_scenario(config: FuzzConfig) -> GeoScenario:
+    """Materialize a geo-path scenario from a fuzz config."""
+    return GeoScenario(
+        name=config.case_id, spec=build_geo_spec(config),
+        n_files=config.n_files, file_bytes=config.file_bytes,
+        hot_files=max(4, config.n_files // 4),
+        alpha=config.alpha if config.alpha is not None else 1.1,
+        rps=float(config.rps), duration=config.duration, seed=config.seed,
+        graceful=config.graceful,
+        edge_budget_bytes=config.geo_budget_mb * 1e6)
+
+
+def _geo_fingerprint(result: GeoResult) -> str:
+    """Repr-level digest of one geo run: every population's exact
+    response times plus the WAN/placement counters."""
+    digest = hashlib.sha256()
+    for site, pop in sorted(result.populations.items()):
+        digest.update(
+            f"{site} {pop.offered} {pop.completed} {pop.dropped} "
+            f"{pop.lost} {pop.spilled} {pop.response_times!r}\n".encode())
+    digest.update(repr((result.edge_hit_rate, result.wan_reads,
+                        result.wan_bytes, result.placements, result.spills,
+                        result.partition_spills, result.unroutable,
+                        result.finished_at)).encode())
+    return digest.hexdigest()
+
+
+def _run_geo_case(config: FuzzConfig) -> CaseOutcome:
+    first = run_geo(build_geo_scenario(config))
+    second = run_geo(build_geo_scenario(config))
+
+    pops = first.populations.values()
+    offered = sum(p.offered for p in pops)
+    completed = sum(p.completed for p in pops)
+    dropped = sum(p.dropped for p in pops)
+    settled = completed + dropped + sum(p.lost for p in pops)
+
+    caches = []
+    for _site, cluster in sorted(first.system.clusters.items()):
+        caches.extend(_node_cache_accounts(cluster.nodes))
+    budgets = tuple(
+        {"edge": float(i),
+         "resident_bytes": fs.resident_replica_bytes(),
+         "budget_bytes": fs.budget_bytes}
+        for i, (_site, fs) in enumerate(sorted(first.system.edge_fs.items())))
+
+    return CaseOutcome(
+        config=config,
+        fingerprints=(_geo_fingerprint(first), _geo_fingerprint(second)),
+        offered=offered,
+        settled=settled,
+        completed=completed,
+        dropped=dropped,
+        finished_at=first.finished_at,
+        caches=tuple(caches),
+        geo_budgets=budgets,
+    )
+
+
 def run_case(config: FuzzConfig) -> CaseOutcome:
     """Execute one validated fuzz case and collect its evidence."""
     config.validate()
     if config.mode == "fluid":
         return _run_fluid_case(config)
+    if config.mode == "geo":
+        return _run_geo_case(config)
     return _run_scenario_case(config)

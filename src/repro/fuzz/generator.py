@@ -59,6 +59,8 @@ class FuzzProfile:
     fault_fraction: float = 0.45
     #: fraction of per-client cases driven by an adversary
     adversary_fraction: float = 0.4
+    #: fraction of cases drawn on the multi-site geo path (docs/GEO.md)
+    geo_fraction: float = 0.15
 
 
 #: the CI gate: ~20 cases of this finish well under a minute
@@ -90,7 +92,7 @@ class FuzzConfig:
     """
 
     case_id: str
-    mode: str                     # "fluid" | "scenario"
+    mode: str                     # "fluid" | "scenario" | "geo"
     seed: int                     # the simulation seed
     nodes: int
     policy: str
@@ -113,13 +115,25 @@ class FuzzConfig:
     replicate: bool = False
     dns_ttl: float = 0.0
     hosts_per_profile: int = 1
+    # -- geo-path knobs (mode == "geo" only; docs/GEO.md) --
+    #: total site count (origin + edges), 1..3; 0 = not a geo case
+    geo_sites: int = 0
+    #: one origin<->edge WAN latency per edge site, seconds
+    geo_edge_latencies: tuple[float, ...] = ()
+    geo_wan_bandwidth: float = 0.0
+    #: per-edge replica RAM budget, MB (0 = never cache at the edge)
+    geo_budget_mb: float = 0.0
 
     # -- validation -------------------------------------------------------
     def validate(self) -> None:
         """Raise ``ValueError`` unless the tuple describes a runnable case."""
-        if self.mode not in ("fluid", "scenario"):
-            raise ValueError(f"mode must be 'fluid' or 'scenario', "
+        if self.mode not in ("fluid", "scenario", "geo"):
+            raise ValueError(f"mode must be 'fluid', 'scenario' or 'geo', "
                              f"got {self.mode!r}")
+        if self.mode != "geo" and (
+                self.geo_sites or self.geo_edge_latencies
+                or self.geo_wan_bandwidth or self.geo_budget_mb):
+            raise ValueError("geo knobs are set on a non-geo case")
         if self.nodes < 2:
             raise ValueError(f"need >= 2 nodes, got {self.nodes}")
         if self.alpha is not None and self.alpha <= 0:
@@ -131,6 +145,40 @@ class FuzzConfig:
         if self.hosts_per_profile < 1:
             raise ValueError(
                 f"hosts_per_profile must be >= 1, got {self.hosts_per_profile}")
+        if self.mode == "geo":
+            if not 1 <= self.geo_sites <= 3:
+                raise ValueError(
+                    f"geo case needs 1..3 sites, got {self.geo_sites}")
+            if len(self.geo_edge_latencies) != self.geo_sites - 1:
+                raise ValueError(
+                    f"{self.geo_sites} sites need "
+                    f"{self.geo_sites - 1} edge latencies, got "
+                    f"{len(self.geo_edge_latencies)}")
+            if any(latency < 0 for latency in self.geo_edge_latencies):
+                raise ValueError(
+                    f"negative WAN latency: {self.geo_edge_latencies}")
+            if self.geo_wan_bandwidth <= 0:
+                raise ValueError(
+                    f"geo case needs WAN bandwidth > 0, "
+                    f"got {self.geo_wan_bandwidth}")
+            if self.geo_budget_mb < 0:
+                raise ValueError(
+                    f"negative geo budget: {self.geo_budget_mb}")
+            if self.rps < 1 or self.duration <= 0:
+                raise ValueError(
+                    f"geo case needs rps >= 1 and duration > 0, "
+                    f"got rps={self.rps}, duration={self.duration}")
+            if self.n_files < 1 or self.file_bytes <= 0:
+                raise ValueError(
+                    f"geo case needs a corpus, got n_files={self.n_files}, "
+                    f"file_bytes={self.file_bytes}")
+            if self.adversary is not None or self.faults is not None:
+                raise ValueError("adversaries and fault plans run on the "
+                                 "per-client path only")
+            if self.coop_cache or self.replicate or self.heterogeneous:
+                raise ValueError("geo cases draw homogeneous sites with "
+                                 "the intra-site cache knobs off")
+            return
         if self.mode == "fluid":
             if self.policy not in fluid_policy_names():
                 raise ValueError(f"{self.policy!r} is not a fluid policy")
@@ -162,6 +210,9 @@ class FuzzConfig:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "FuzzConfig":
+        data = dict(data)
+        if "geo_edge_latencies" in data:  # JSON round-trips tuples as lists
+            data["geo_edge_latencies"] = tuple(data["geo_edge_latencies"])
         config = cls(**data)
         config.validate()
         return config
@@ -209,11 +260,41 @@ def _draw_faults(rng: RandomStreams, nodes: int, duration: float) -> str:
     return ",".join(clauses)
 
 
+def _generate_geo_config(rng: RandomStreams, case_id: str) -> FuzzConfig:
+    """Draw one multi-site case: topology, link matrix and budget all
+    come from the ``fuzz-geo`` substream (docs/GEO.md)."""
+    sites = 1 + int(rng.integers("fuzz-geo", 0, 3))
+    latencies = tuple(round(rng.uniform("fuzz-geo", 0.01, 0.12), 4)
+                      for _ in range(sites - 1))
+    bandwidth = round(rng.uniform("fuzz-geo", 2e6, 16e6), 1)
+    budget_mb = float(rng.choice("fuzz-geo", [0.0, 1.0, 4.0, 16.0]))
+    config = FuzzConfig(
+        case_id=case_id, mode="geo",
+        seed=int(rng.integers("fuzz-geo", 1, 1_000_000)),
+        nodes=int(rng.integers("fuzz-geo", 2, 5)),
+        policy="sweb",
+        alpha=round(rng.uniform("fuzz-geo", 0.8, 1.3), 3),
+        rps=int(rng.integers("fuzz-geo", 8, 21)),
+        duration=round(rng.uniform("fuzz-geo", 3.0, 7.0), 1),
+        n_files=int(rng.integers("fuzz-geo", 16, 49)),
+        file_bytes=float(round(math.exp(
+            rng.uniform("fuzz-geo", math.log(2e4), math.log(1e5))))),
+        graceful=rng.uniform("fuzz-geo") < 0.5,
+        geo_sites=sites, geo_edge_latencies=latencies,
+        geo_wan_bandwidth=bandwidth, geo_budget_mb=budget_mb)
+    config.validate()
+    return config
+
+
 def generate_config(root_seed: int, index: int,
                     profile: FuzzProfile = SMOKE_PROFILE) -> FuzzConfig:
     """Draw case ``index`` of the campaign seeded by ``root_seed``."""
     rng = RandomStreams(seed=case_seed(root_seed, index))
     case_id = f"fuzz-s{root_seed}-c{index:04d}"
+    # The geo decision and every geo draw live on their own substream so
+    # adding the dimension left all pre-geo case draws untouched.
+    if rng.uniform("fuzz-geo") < profile.geo_fraction:
+        return _generate_geo_config(rng, case_id)
     fluid = rng.uniform("fuzz-shape") < profile.fluid_fraction
     nodes = int(rng.integers("fuzz-shape", 2, profile.max_nodes + 1))
     heterogeneous = rng.uniform("fuzz-shape") < 0.5

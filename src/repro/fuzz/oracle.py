@@ -17,7 +17,8 @@ shrinker can hold fixed while minimizing:
   processed request is served by exactly one node);
 * ``cache-bytes`` — every page cache's used bytes equal the sum of its
   resident entries and never exceed capacity, and its hit/miss/eviction
-  counters are sane;
+  counters are sane; on the geo path each edge site's resident replica
+  bytes additionally stay within its drawn budget (docs/GEO.md);
 * ``trace`` — every sampled trace is structurally well-formed and its
   stage breakdown reconciles with the record's measured latency.
 """
@@ -125,6 +126,15 @@ def _check_cache_bytes(outcome: CaseOutcome) -> list[Violation]:
                     "cache-bytes",
                     f"node {node}: negative {counter} count "
                     f"{account[counter]}"))
+    for account in outcome.geo_budgets:
+        edge = int(account["edge"])
+        resident = account["resident_bytes"]
+        budget = account["budget_bytes"]
+        if resident > budget + _BYTE_EPS:
+            out.append(Violation(
+                "cache-bytes",
+                f"edge {edge}: {resident} resident geo-replica bytes "
+                f"exceed the {budget}-byte site budget"))
     return out
 
 

@@ -31,14 +31,15 @@ def config_size(config: FuzzConfig) -> float:
     faults = len(config.faults.split(",")) if config.faults else 0
     flags = sum((config.heterogeneous, config.graceful, config.coop_cache,
                  config.replicate, config.adversary is not None,
-                 config.alpha is not None, config.dns_ttl > 0))
+                 config.alpha is not None, config.dns_ttl > 0,
+                 config.geo_budget_mb > 0))
     load = (math.log2(max(2, config.n_requests))
             + math.log2(max(2, config.rps + 1))
             + math.log2(max(2.0, config.duration))
             + math.log2(max(2, config.n_files + 1))
             + math.log2(max(2.0, config.rate + 2.0)))
     return (10.0 * faults + 5.0 * flags + config.nodes
-            + config.hosts_per_profile + load)
+            + config.hosts_per_profile + 4.0 * config.geo_sites + load)
 
 
 def shrink_candidates(config: FuzzConfig) -> Iterator[FuzzConfig]:
@@ -72,6 +73,13 @@ def shrink_candidates(config: FuzzConfig) -> Iterator[FuzzConfig]:
         yield config.simplified(dns_ttl=0.0)
     if config.hosts_per_profile > 1:
         yield config.simplified(hosts_per_profile=1)
+    if config.mode == "geo":
+        if config.geo_sites > 1:  # drop the farthest edge site
+            yield config.simplified(
+                geo_sites=config.geo_sites - 1,
+                geo_edge_latencies=config.geo_edge_latencies[:-1])
+        if config.geo_budget_mb > 0:
+            yield config.simplified(geo_budget_mb=0.0)
     if config.mode == "fluid":
         if config.n_requests > 1_000:
             yield config.simplified(

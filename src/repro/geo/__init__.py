@@ -1,0 +1,31 @@
+"""repro.geo — the geo-distributed CDN tier (docs/GEO.md).
+
+Origin + edge clusters behind WAN links, heat-proportional cross-site
+replica placement, geo-affinity DNS with overload/partition spill, and
+the scenario harness the X13 experiment drives.  Sits between
+``workload`` and ``experiments`` in the enforced layer DAG.
+"""
+
+from .daemon import GeoPlacementDaemon
+from .fs import GeoFileSystem
+from .placement import plan_placement
+from .routing import GeoDNS
+from .scenario import GeoResult, GeoScenario, PopulationStats, run_geo
+from .spec import GeoSpec, SiteSpec, WanLink, geo3
+from .system import GeoSystem
+
+__all__ = [
+    "GeoDNS",
+    "GeoFileSystem",
+    "GeoPlacementDaemon",
+    "GeoResult",
+    "GeoScenario",
+    "GeoSpec",
+    "GeoSystem",
+    "PopulationStats",
+    "SiteSpec",
+    "WanLink",
+    "geo3",
+    "plan_placement",
+    "run_geo",
+]

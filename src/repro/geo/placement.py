@@ -1,0 +1,92 @@
+"""Heat-proportional cross-site replica placement (the planning half).
+
+The planner is a *pure function* of its inputs: the same heat snapshot,
+size table, budgets and existing-placement map always yield the same
+plan, draw no randomness, and touch no simulator state.  That purity is
+pinned by Hypothesis property tests (``tests/test_geo.py``) and is what
+keeps the geo tier inside the determinism contract — all scheduling
+noise lives in *when* the daemon runs the planner, never in what the
+planner answers.
+
+Placement is heat-proportional in the arXiv:1009.4563 sense: a file's
+replica count scales with how far its served byte volume rises above the
+per-file mean, so the hottest documents fan out to every edge while
+merely-warm ones earn a single copy.  Which edge gets a copy first is
+decided by rendezvous hashing on the path (``repro.sched.hashring``) so
+the assignment is stable under replanning and spreads files evenly
+across edges without coordination.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..sched.hashring import preference_order
+
+__all__ = ["plan_placement"]
+
+
+def plan_placement(heat: Mapping[str, float],
+                   sizes: Mapping[str, float],
+                   edge_sites: Sequence[str],
+                   budgets: Mapping[str, float],
+                   existing: Optional[Mapping[str, AbstractSet[str]]] = None,
+                   skew: float = 1.5,
+                   max_placements: Optional[int] = None,
+                   ) -> Tuple[Tuple[str, str], ...]:
+    """Plan ``(path, edge_site)`` copies from a heat snapshot.
+
+    ``heat`` maps path -> served bytes (the :class:`FileHeat` byte
+    counters); ``sizes`` maps path -> file size; ``budgets`` maps edge
+    site -> *remaining* cache bytes available for geo replicas there;
+    ``existing`` maps path -> the sites already holding a copy.
+
+    Guarantees (property-tested):
+
+    * placed bytes per site never exceed that site's budget;
+    * no ``(path, site)`` pair appears twice, and no copy is planned to
+      a site that already holds the file;
+    * the output is a pure function of the inputs.
+    """
+    if skew < 1.0:
+        raise ValueError(f"skew must be >= 1, got {skew}")
+    edges = list(edge_sites)
+    if not edges or not heat:
+        return ()
+    existing = existing or {}
+    mean = sum(heat.values()) / len(heat)
+    if mean <= 0:
+        return ()
+    remaining = {site: float(budgets.get(site, 0.0)) for site in edges}
+    ranked = sorted(heat.items(), key=lambda item: (-item[1], item[0]))
+    out: List[Tuple[str, str]] = []
+    for path, heat_bytes in ranked:
+        if max_placements is not None and len(out) >= max_placements:
+            break
+        if heat_bytes < skew * mean:
+            break  # heat-sorted: nothing below the threshold qualifies
+        size = float(sizes.get(path, 0.0))
+        if size <= 0:
+            continue
+        # Heat-proportional replica count: one edge per multiple of the
+        # skew threshold, capped at every edge.
+        want = min(len(edges), int(heat_bytes / (skew * mean)))
+        if want < 1:
+            continue
+        holders = existing.get(path, frozenset())
+        placed = 0
+        for idx in preference_order(path, len(edges)):
+            if placed >= want:
+                break
+            if max_placements is not None and len(out) >= max_placements:
+                break
+            site = edges[idx]
+            if site in holders:
+                placed += 1  # an existing copy counts toward the target
+                continue
+            if remaining[site] < size:
+                continue
+            remaining[site] -= size
+            out.append((path, site))
+            placed += 1
+    return tuple(out)

@@ -1,0 +1,107 @@
+"""Geo-affinity DNS: pin clients to their home site, spill when needed.
+
+The paper's round-robin DNS spreads arrivals over *nodes*; the geo tier
+adds the stage above it — which *site* a client's resolver hands out.
+A client population pins to its home site (lowest WAN latency), and the
+geo DNS overrides that pin in exactly two cases:
+
+* **overload** — the home site's mean CPU run queue exceeds the spill
+  threshold, so new arrivals divert to the nearest site with headroom
+  (the communication-cost-vs-balance trade-off of arXiv:1610.04513:
+  extra WAN latency buys a shorter queue);
+* **partition** — the home site's POP is dark.  Under graceful mode its
+  population re-resolves to the nearest healthy site; in paper-faithful
+  mode the resolver keeps answering the dead address and the requests
+  are lost — the contrast X13's third shape check measures.
+
+Routing is deterministic: load is read from the live simulation state at
+resolve time and the spill order is the :meth:`GeoSpec.nearest_order`
+latency ranking, so no RNG is consumed here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .spec import GeoSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.sweb import SWEBCluster
+
+__all__ = ["GeoDNS"]
+
+
+class GeoDNS:
+    """Site-level resolver over a built :class:`GeoSystem`'s clusters."""
+
+    def __init__(self, spec: GeoSpec,
+                 clusters: Dict[str, "SWEBCluster"],
+                 graceful: bool = False,
+                 spill_threshold: float = 6.0) -> None:
+        if spill_threshold <= 0:
+            raise ValueError(f"spill_threshold must be > 0: {spill_threshold}")
+        self.spec = spec
+        self.clusters = clusters
+        self.graceful = graceful
+        self.spill_threshold = float(spill_threshold)
+        #: sites whose POP uplink is currently dark
+        self.partitioned: set[str] = set()
+        self.routes = 0
+        self.spills = 0
+        self.partition_spills = 0
+        self.unroutable = 0
+
+    # -- partition control -------------------------------------------------
+    def partition_site(self, site: str) -> None:
+        """Cut ``site`` off: its clients cannot reach it until healed."""
+        if site not in self.spec.site_names:
+            raise KeyError(site)
+        self.partitioned.add(site)
+
+    def heal_site(self, site: str) -> None:
+        self.partitioned.discard(site)
+
+    # -- load probes ------------------------------------------------------
+    def site_load(self, site: str) -> float:
+        """Mean CPU run-queue length over the site's alive nodes."""
+        nodes = [n for n in self.clusters[site].nodes if n.alive]
+        if not nodes:
+            return float("inf")
+        return sum(n.cpu_load() for n in nodes) / len(nodes)
+
+    def _usable(self, site: str) -> bool:
+        return (site not in self.partitioned
+                and any(n.alive for n in self.clusters[site].nodes))
+
+    # -- resolution --------------------------------------------------------
+    def route(self, home_site: str) -> Optional[str]:
+        """The site that should serve a request homed at ``home_site``.
+
+        ``None`` means unroutable: the home POP is dark and the resolver
+        is not graceful (or every site is dark) — the request is lost.
+        """
+        if home_site not in self.spec.site_names:
+            raise KeyError(home_site)
+        self.routes += 1
+        if home_site in self.partitioned:
+            if not self.graceful:
+                self.unroutable += 1
+                return None
+            for other in self.spec.nearest_order(home_site):
+                if self._usable(other):
+                    self.partition_spills += 1
+                    return other
+            self.unroutable += 1
+            return None
+        if (self.graceful
+                and self.site_load(home_site) > self.spill_threshold):
+            for other in self.spec.nearest_order(home_site):
+                if (self._usable(other)
+                        and self.site_load(other) <= self.spill_threshold):
+                    self.spills += 1
+                    return other
+        return home_site
+
+    def __repr__(self) -> str:
+        return (f"<GeoDNS routes={self.routes} spills={self.spills} "
+                f"partitioned={sorted(self.partitioned)}>")

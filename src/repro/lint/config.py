@@ -13,18 +13,18 @@ from fnmatch import fnmatch
 
 __all__ = ["DEFAULT_CONFIG", "LAYERS", "LAYER_ALLOWED", "LintConfig"]
 
-#: The eleven library layers, bottom-up.  Top-level side modules
+#: The twelve library layers, bottom-up.  Top-level side modules
 #: (``cli``, ``config``, ``bench``) and :mod:`repro.lint` itself sit
 #: beside the stack and are exempt from the layering rules.
 LAYERS: tuple[str, ...] = (
     "obs", "sim", "sched", "cluster", "cache", "faults", "web", "core",
-    "workload", "experiments", "fuzz",
+    "workload", "geo", "experiments", "fuzz",
 )
 
 #: layer -> the set of *other* layers it may import at runtime.
 #: This is the enforced DAG:  obs → sim → sched → cluster → cache →
-#: {faults, web} → core → workload → experiments → fuzz.  ``obs`` sits at the
-#: very bottom (pure data structures, no engine dependency) so *every*
+#: {faults, web} → core → workload → geo → experiments → fuzz.  ``obs``
+#: sits at the very bottom (pure data structures, no engine dependency) so *every*
 #: layer — including ``sim``, whose stats route percentile math through
 #: it — may publish spans and metrics into it.  ``sched`` (the policy
 #: registry, speed-factor model and rendezvous hashing) sits just above
@@ -44,17 +44,19 @@ LAYER_ALLOWED: dict[str, frozenset[str]] = {
                        "web"}),
     "workload": frozenset({"obs", "sim", "sched", "cluster", "cache",
                            "faults", "web", "core"}),
+    "geo": frozenset({"obs", "sim", "sched", "cluster", "cache", "faults",
+                      "web", "core", "workload"}),
     "experiments": frozenset({"obs", "sim", "sched", "cluster", "cache",
-                              "faults", "web", "core", "workload"}),
+                              "faults", "web", "core", "workload", "geo"}),
     "fuzz": frozenset({"obs", "sim", "sched", "cluster", "cache", "faults",
-                       "web", "core", "workload", "experiments"}),
+                       "web", "core", "workload", "geo", "experiments"}),
 }
 
 #: Layers whose code is sim-reachable: time must come from the engine
 #: clock (``sim.now``) and randomness from ``repro.sim.rng``.
 DETERMINISM_LAYERS: tuple[str, ...] = (
     "obs", "sim", "sched", "cluster", "cache", "core", "web", "faults",
-    "fuzz",
+    "geo", "fuzz",
 )
 
 #: Files allowed to talk to a terminal or the filesystem: the CLI, the

@@ -62,6 +62,10 @@ STREAM_NAMES: dict[str, str] = {
     "fuzz-workload": "workload draws: rates, sizes, skew, adversary",
     "fuzz-faults": "fault-plan draws: clause count, kinds, windows",
     "fuzz-knobs": "cache/broker/mitigation knob draws",
+    # geo/scenario.py — multi-site client population assignment
+    "geo-affinity": "home-site draw for each arriving client request",
+    # fuzz/generator.py — geo dimension draws (independent substream)
+    "fuzz-geo": "geo draws: site count, WAN link matrix, edge budgets",
 }
 
 

@@ -27,6 +27,7 @@ from repro.cluster import meiko_cs2, sun_now
 from repro.core.costmodel import CostParameters
 from repro.experiments.cache_coop import hot_cold_corpus
 from repro.experiments.runner import Scenario, run_scenario
+from repro.geo import GeoScenario, run_geo
 from repro.sim import RandomStreams, Trace
 from repro.workload import (
     burst_workload,
@@ -36,7 +37,11 @@ from repro.workload import (
     zipf_sampler,
 )
 
-GOLDEN = Path(__file__).resolve().parent / "data" / "determinism_fingerprint.json"
+DATA = Path(__file__).resolve().parent / "data"
+GOLDEN = DATA / "determinism_fingerprint.json"
+#: the fingerprint as it stood before the geo tier landed — the three
+#: single-cluster scenarios must stay bit-identical with geo disabled
+PRE_GEO = DATA / "determinism_fingerprint_pre_geo.json"
 
 
 def _scenarios():
@@ -95,8 +100,36 @@ def _record_line(rec) -> str:
             f"retries={rec.retries} [{phases}]")
 
 
+def _geo_entry() -> dict:
+    """Repr-level digest of a fixed-seed three-site geo scenario: every
+    population's exact response times plus the WAN/placement counters."""
+    result = run_geo(GeoScenario(
+        name="det-geo", n_files=24, hot_files=6, file_bytes=6e4,
+        rps=18.0, duration=6.0, seed=21, graceful=True,
+        edge_budget_bytes=4e6))
+    populations = {}
+    for site, pop in sorted(result.populations.items()):
+        populations[site] = {
+            "offered": pop.offered, "completed": pop.completed,
+            "dropped": pop.dropped, "lost": pop.lost,
+            "spilled": pop.spilled,
+            "response_times": [repr(t) for t in pop.response_times],
+        }
+    return {
+        "populations": populations,
+        "edge_hit_rate": repr(result.edge_hit_rate),
+        "wan_reads": result.wan_reads,
+        "wan_bytes": repr(result.wan_bytes),
+        "placements": result.placements,
+        "spills": result.spills,
+        "partition_spills": result.partition_spills,
+        "unroutable": result.unroutable,
+        "finished_at": repr(result.finished_at),
+    }
+
+
 def fingerprint() -> dict:
-    """Exact (repr-level) digest of the two fixed-seed scenarios."""
+    """Exact (repr-level) digest of the fixed-seed scenarios."""
     out = {}
     for scenario in _scenarios():
         result = run_scenario(scenario)
@@ -113,6 +146,7 @@ def fingerprint() -> dict:
             "trace_sha256": hashlib.sha256(
                 trace_text.encode()).hexdigest(),
         }
+    out["det-geo"] = _geo_entry()
     return out
 
 
@@ -126,6 +160,19 @@ def test_fixed_seed_scenarios_match_golden_fingerprint():
                 f"{name}.{key} drifted from the golden fingerprint — a "
                 f"supposedly behaviour-preserving change altered simulation "
                 f"results (see docs/PERFORMANCE.md)")
+
+
+def test_pre_geo_goldens_unchanged_with_geo_disabled():
+    """The geo tier is additive: with geo off (the default everywhere),
+    the three single-cluster scenarios must stay *bit-identical* to the
+    fingerprint pinned before the tier landed (docs/GEO.md)."""
+    pre_geo = json.loads(PRE_GEO.read_text())
+    assert "det-geo" not in pre_geo  # the pin really predates the tier
+    current = fingerprint()
+    for name in pre_geo:
+        assert current[name] == pre_geo[name], (
+            f"{name} drifted from the pre-geo fingerprint — the geo tier "
+            f"must be a strict no-op when disabled (docs/GEO.md)")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ def test_registry_is_complete():
         "T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3",
         "S1", "S2", "S3",
         "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10",
-        "X11", "X12",
+        "X11", "X12", "X13",
     }
     for module in ALL_EXPERIMENTS.values():
         assert callable(module.run)

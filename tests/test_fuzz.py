@@ -74,20 +74,25 @@ def test_profile_by_name():
         profile_by_name("nope")
 
 
-def test_generator_covers_both_modes_and_extras():
+def test_generator_covers_all_modes_and_extras():
     configs = [generate_config(7, i) for i in range(20)]
     modes = {c.mode for c in configs}
-    assert modes == {"scenario", "fluid"}
+    assert modes == {"scenario", "fluid", "geo"}
     assert any(c.adversary for c in configs)
     assert any(c.faults for c in configs)
     assert any(c.heterogeneous for c in configs)
+    geo = [c for c in configs if c.mode == "geo"]
+    assert all(1 <= c.geo_sites <= 3 for c in geo)
+    assert all(len(c.geo_edge_latencies) == c.geo_sites - 1 for c in geo)
+    assert any(c.geo_budget_mb > 0 for c in geo)
 
 
 # ------------------------------------------------------ oracle soundness
 def test_known_good_cases_are_green():
     # one case of each mode through the real executor: the oracle must
-    # hold on healthy runs (c0000 is scenario-mode, c0001 fluid-mode)
-    for index in (0, 1):
+    # hold on healthy runs (c0000 is scenario-mode, c0001 fluid-mode,
+    # c0012 geo-mode)
+    for index in (0, 1, 12):
         config = generate_config(7, index)
         assert check_outcome(run_case(config)) == ()
 

@@ -41,12 +41,12 @@ def test_crc32_key_matches_randomstreams_derivation():
 
 
 def test_adversary_and_fuzz_streams_are_registered():
-    # the fuzz layer (generator draws) and the adversarial actors each
-    # own audited substreams; pin their presence so a rename cannot
-    # silently decouple the code from the registry
+    # the fuzz layer (generator draws), the adversarial actors and the
+    # geo tier each own audited substreams; pin their presence so a
+    # rename cannot silently decouple the code from the registry
     expected = {"adv-hotspot", "adv-cachebust", "adv-slowdrip",
                 "adv-dnsskew", "fuzz-shape", "fuzz-workload",
-                "fuzz-faults", "fuzz-knobs"}
+                "fuzz-faults", "fuzz-knobs", "fuzz-geo", "geo-affinity"}
     assert expected <= set(STREAM_NAMES)
 
 
